@@ -1,0 +1,113 @@
+// Command adtrace records a scenario's protocol events as JSON Lines, or
+// summarizes an existing trace file.
+//
+// Usage:
+//
+//	adtrace -o run.jsonl [-protocol ... -peers ...]   # record
+//	adtrace -summarize run.jsonl                      # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"instantad"
+	"instantad/internal/trace"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "trace output file ('-' for stdout)")
+		summarize = flag.String("summarize", "", "summarize an existing trace file instead of recording")
+		analyze   = flag.String("analyze", "", "per-ad dissemination analysis of an existing trace file")
+		protocol  = flag.String("protocol", "Optimized Gossiping", "protocol to run")
+		peers     = flag.Int("peers", 300, "number of peers")
+		simTime   = flag.Float64("sim-time", 400, "simulation length, seconds")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		summarizeFile(*summarize)
+		return
+	}
+	if *analyze != "" {
+		analyzeFile(*analyze)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "need -o <file> to record or -summarize <file> to inspect")
+		os.Exit(2)
+	}
+
+	proto, err := instantad.ParseProtocol(*protocol)
+	fatalIf(err)
+	sc := instantad.DefaultScenario()
+	sc.Protocol = proto
+	sc.NumPeers = *peers
+	sc.SimTime = *simTime
+	sc.Seed = *seed
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+
+	sim, err := sc.Build()
+	fatalIf(err)
+	rec := sim.Trace(w)
+	h := sim.ScheduleAd(sc.IssueTime, instantad.Point{X: sc.FieldW / 2, Y: sc.FieldH / 2},
+		instantad.AdSpec{R: sc.R, D: sc.D, Category: sc.Category, Text: "traced ad"})
+	sim.Engine.Run(sc.SimTime)
+	fatalIf(h.Err)
+	fatalIf(rec.Flush())
+
+	rep, err := sim.Metrics.Report(h.Ad.ID)
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "recorded %d events; %v\n", rec.Count(), rep)
+}
+
+func analyzeFile(path string) {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	events, err := trace.Read(f)
+	fatalIf(err)
+	a, err := trace.Analyze(events)
+	fatalIf(err)
+	fmt.Print(a.Render())
+}
+
+func summarizeFile(path string) {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	events, err := trace.Read(f)
+	fatalIf(err)
+	sum, err := trace.Summarize(events)
+	fatalIf(err)
+	fmt.Println(sum)
+	kinds := make([]string, 0, len(sum.ByKind))
+	for k := range sum.ByKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %d\n", k, sum.ByKind[trace.Kind(k)])
+	}
+	for _, ad := range sum.Ads {
+		fmt.Printf("  %s: %d broadcasts\n", ad, sum.MsgsPerAd[ad])
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command campaign runs a continuous advertising workload — many issuers,
+// Poisson arrivals, Zipf categories — and prints the capacity curve:
+// delivery quality versus offered load.
+//
+// Usage:
+//
+//	campaign                      # sweep 1..12 ads/min at the canonical scale
+//	campaign -rates 2,6,12 -peers 500 -cache 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"instantad"
+)
+
+func main() {
+	var (
+		peers  = flag.Int("peers", 300, "number of peers")
+		cacheK = flag.Int("cache", 10, "per-peer cache capacity")
+		radius = flag.Float64("R", 400, "ad radius, m")
+		life   = flag.Float64("D", 120, "ad duration, s")
+		window = flag.Float64("window", 600, "injection window, s")
+		rates  = flag.String("rates", "1,2,4,8,12", "ads/minute sweep (comma-separated)")
+		skew   = flag.Float64("skew", 0.8, "category Zipf skew")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		percat = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
+	)
+	flag.Parse()
+
+	var apm []float64
+	for _, part := range strings.Split(*rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad rate %q\n", part)
+			os.Exit(2)
+		}
+		apm = append(apm, v)
+	}
+
+	sc := instantad.DefaultScenario()
+	sc.NumPeers = *peers
+	sc.CacheK = *cacheK
+	sc.Seed = *seed
+	sc.SimTime = 60 + *window + *life + 60
+
+	base := instantad.CampaignConfig{
+		Start:        60,
+		End:          60 + *window,
+		R:            *radius,
+		D:            *life,
+		RJitter:      *radius / 10,
+		DJitter:      *life / 10,
+		CategorySkew: *skew,
+	}
+
+	fmt.Printf("capacity curve: %d peers, cache k=%d, ads R=%.0fm D=%.0fs, %.0fs window\n\n",
+		*peers, *cacheK, *radius, *life, *window)
+	fmt.Printf("%10s %6s %14s %15s %10s %10s\n",
+		"ads/min", "ads", "mean delivery", "worst delivery", "messages", "evictions")
+	reports, err := instantad.CampaignSweep(sc, base, apm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, rep := range reports {
+		fmt.Printf("%10.1f %6d %13.1f%% %14.1f%% %10d %10d\n",
+			apm[i], rep.AdsIssued, rep.MeanDelivery, rep.WorstDelivery, rep.TotalMessages, rep.Evictions)
+	}
+
+	if *percat {
+		last := reports[len(reports)-1]
+		fmt.Printf("\nper-category at %.1f ads/min:\n", apm[len(apm)-1])
+		for _, cr := range last.ByCategory {
+			fmt.Printf("  %-12s %3d ads, %5.1f%% delivery, %6d messages\n",
+				cr.Category, cr.Ads, cr.DeliveryRate, cr.Messages)
+		}
+	}
+}

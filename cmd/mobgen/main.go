@@ -1,0 +1,115 @@
+// Command mobgen generates NS-2 movement scripts (setdest format) from this
+// repo's mobility models, or inspects an existing script. Generated traces
+// plug back into scenarios via Scenario.TraceFile and into NS-2 itself.
+//
+// Usage:
+//
+//	mobgen -n 300 -model random-waypoint -horizon 2000 -o move.ns2
+//	mobgen -info move.ns2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/rng"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 300, "number of nodes")
+		model   = flag.String("model", "random-waypoint", "random-waypoint | random-walk | manhattan")
+		fieldW  = flag.Float64("field", 1500, "square field side, meters")
+		speed   = flag.Float64("speed", 10, "mean speed, m/s")
+		delta   = flag.Float64("speed-delta", 5, "speed spread")
+		pause   = flag.Float64("pause", 10, "waypoint pause, s")
+		block   = flag.Float64("block", 150, "manhattan block size, m")
+		horizon = flag.Float64("horizon", 2000, "trajectory length, s")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "-", "output file ('-' for stdout)")
+		info    = flag.String("info", "", "inspect an existing movement script instead")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		inspect(*info)
+		return
+	}
+
+	field := geo.NewRect(*fieldW, *fieldW)
+	root := rng.New(*seed)
+	models := make([]mobility.Model, *n)
+	for i := range models {
+		s := root.SplitIndex("mobility", i)
+		var (
+			m   mobility.Model
+			err error
+		)
+		switch *model {
+		case "random-waypoint":
+			m, err = mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+				Field: field, SpeedMean: *speed, SpeedDelta: *delta,
+				Pause: *pause, Horizon: *horizon,
+			}, s)
+		case "random-walk":
+			m, err = mobility.NewRandomWalk(mobility.RandomWalkConfig{
+				Field: field, SpeedMean: *speed, SpeedDelta: *delta,
+				Epoch: 30, Horizon: *horizon,
+			}, s)
+		case "manhattan":
+			m, err = mobility.NewManhattan(mobility.ManhattanConfig{
+				Field: field, BlockSize: *block,
+				SpeedMean: *speed, SpeedDelta: *delta, Horizon: *horizon,
+			}, s)
+		default:
+			err = fmt.Errorf("unknown model %q", *model)
+		}
+		fatalIf(err)
+		models[i] = m
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+	fatalIf(mobility.ExportNS2(w, models))
+	fmt.Fprintf(os.Stderr, "wrote %d %s trajectories over %.0f s\n", *n, *model, *horizon)
+}
+
+func inspect(path string) {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	byID, err := mobility.ParseNS2(f)
+	fatalIf(err)
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("%d nodes (ids %d..%d)\n", len(ids), ids[0], ids[len(ids)-1])
+	legs := 0
+	var maxT float64
+	for _, id := range ids {
+		ll := byID[id].(mobility.LegLister).Legs()
+		legs += len(ll)
+		if t := ll[len(ll)-1].T1; t > maxT && t < 1e17 {
+			maxT = t
+		}
+	}
+	fmt.Printf("%d trajectory legs, last arrival at %.1f s\n", legs, maxT)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

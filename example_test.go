@@ -1,0 +1,104 @@
+package instantad_test
+
+import (
+	"fmt"
+
+	"instantad"
+)
+
+// The canonical single-ad experiment: run the paper's Optimized Gossiping
+// and check its headline properties rather than exact counts (which depend
+// on the seed).
+func Example() {
+	sc := instantad.DefaultScenario()
+	sc.Protocol = instantad.GossipOpt
+	sc.SimTime = 400 // the ad's life cycle ends at 240 s
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("delivery above 95%:", res.DeliveryRate > 95)
+	fmt.Println("messages under 1000:", res.Messages < 1000)
+	// Output:
+	// delivery above 95%: true
+	// messages under 1000: true
+}
+
+// Comparing protocols on identical trajectories: same scenario, same seed,
+// different Protocol.
+func Example_protocolComparison() {
+	base := instantad.DefaultScenario()
+	base.SimTime = 400
+	flood := base
+	flood.Protocol = instantad.Flooding
+	opt := base
+	opt.Protocol = instantad.GossipOpt
+	fr, err1 := flood.Run()
+	or, err2 := opt.Run()
+	if err1 != nil || err2 != nil {
+		fmt.Println("error")
+		return
+	}
+	fmt.Println("optimized sends under 25% of flooding's messages:", or.Messages < 0.25*fr.Messages)
+	// Output:
+	// optimized sends under 25% of flooding's messages: true
+}
+
+// Multi-ad workloads use Build + ScheduleAd instead of Run.
+func Example_multiAd() {
+	sc := instantad.DefaultScenario()
+	sc.SimTime = 400
+	sim, err := sc.Build()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a := sim.ScheduleAd(60, instantad.Point{X: 500, Y: 500}, instantad.AdSpec{
+		R: 400, D: 180, Category: "petrol", Text: "Unleaded $1.45/L",
+	})
+	b := sim.ScheduleAd(60, instantad.Point{X: 1000, Y: 1000}, instantad.AdSpec{
+		R: 400, D: 180, Category: "grocery", Text: "Fruit 20% off",
+	})
+	sim.Engine.Run(sc.SimTime)
+	ra, _ := sim.Metrics.Report(a.Ad.ID)
+	rb, _ := sim.Metrics.Report(b.Ad.ID)
+	fmt.Println("both ads reached peers:", ra.Delivered > 0 && rb.Delivered > 0)
+	// Output:
+	// both ads reached peers: true
+}
+
+// FM sketches are exported for standalone use: duplicate-insensitive
+// distinct counting in a few dozen bytes.
+func ExampleNewSketch() {
+	sk := instantad.NewSketch(8, 32, 1)
+	for round := 0; round < 3; round++ { // duplicates never inflate the count
+		for id := uint64(0); id < 1000; id++ {
+			sk.Add(id * 2654435761)
+		}
+	}
+	est := sk.Estimate()
+	// F = 8 gives ≈ 28 % standard error; a 2× band is comfortably inside 3σ.
+	fmt.Println("estimate within 2x of 1000:", est > 500 && est < 2000)
+	fmt.Println("wire size (bytes):", sk.WireSize())
+	// Output:
+	// estimate within 2x of 1000: true
+	// wire size (bytes): 42
+}
+
+// Protocol names round-trip through ParseProtocol, matching the paper's
+// terminology.
+func ExampleParseProtocol() {
+	p, _ := instantad.ParseProtocol("Optimized Gossiping")
+	fmt.Println(p == instantad.GossipOpt)
+	for _, proto := range instantad.Protocols() {
+		fmt.Println(proto)
+	}
+	// Output:
+	// true
+	// Flooding
+	// Gossiping
+	// Optimized Gossiping-2
+	// Optimized Gossiping-1
+	// Optimized Gossiping
+}

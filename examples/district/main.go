@@ -1,0 +1,65 @@
+// District: the synthesis showcase — a shopping district's whole afternoon.
+// A mixed fleet of vehicles and pedestrians (30 % on foot with 50 m
+// handsets) moves through the field while shops and individuals issue ads
+// continuously (a Poisson campaign over Zipf-skewed categories), with
+// popularity ranking enlarging the ads people actually care about. The
+// report shows per-category delivery, total traffic, channel utilization
+// and cache pressure — the capacity-planning view a deployer would want.
+//
+//	go run ./examples/district
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"instantad"
+)
+
+func main() {
+	sc := instantad.DefaultScenario()
+	sc.Protocol = instantad.GossipOpt
+	sc.NumPeers = 400
+	sc.PedestrianFraction = 0.3
+	sc.SimTime = 900
+	sc.Popularity = instantad.PopularityConfig{
+		Enabled: true, F: 8, L: 32, SketchSeed: 7,
+		RInc: 60, DInc: 15, RMax: 800, DMax: 300,
+	}
+
+	campaign := instantad.CampaignConfig{
+		ArrivalRate:  4.0 / 60, // four new ads a minute across the district
+		Start:        60,
+		End:          660,
+		R:            400,
+		D:            150,
+		RJitter:      60,
+		DJitter:      30,
+		CategorySkew: 0.9,
+		Interests:    instantad.InterestConfig{Skew: 0.9, MaxPerPeer: 3},
+	}
+
+	rep, err := instantad.RunCampaign(sc, campaign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("A shopping district's afternoon (400 peers, 30% pedestrians,")
+	fmt.Println("popularity ranking on, ~4 new ads/minute for 10 minutes)")
+	fmt.Println()
+	fmt.Println(rep)
+	fmt.Println()
+	fmt.Printf("%-14s %5s %14s %10s\n", "category", "ads", "mean delivery", "messages")
+	for _, cr := range rep.ByCategory {
+		fmt.Printf("%-14s %5d %13.1f%% %10d\n", cr.Category, cr.Ads, cr.DeliveryRate, cr.Messages)
+	}
+	fmt.Println()
+	fmt.Printf("total traffic: %d messages, %.0f KiB on air\n",
+		rep.TotalMessages, float64(rep.TotalBytes)/1024)
+	fmt.Println()
+	fmt.Println("Dozens of overlapping instant ads, each alive for minutes in its")
+	fmt.Println("own few blocks, delivered to the people walking and driving")
+	fmt.Println("through — with no infrastructure and a few hundred bytes per peer")
+	fmt.Println("per minute of airtime.")
+}

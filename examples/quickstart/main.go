@@ -1,0 +1,36 @@
+// Quickstart: run the paper's canonical scenario once per protocol and
+// compare the three evaluation metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"instantad"
+)
+
+func main() {
+	fmt.Println("Instant advertising over a mobile P2P network")
+	fmt.Println("300 peers, 1500x1500 m, one ad: R=500 m, D=180 s, issued at the center")
+	fmt.Println()
+	fmt.Printf("%-24s %14s %15s %10s\n", "protocol", "delivery rate", "delivery time", "messages")
+
+	for _, proto := range instantad.Protocols() {
+		sc := instantad.DefaultScenario()
+		sc.Protocol = proto
+		res, err := sc.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-24s %13.1f%% %14.1fs %10.0f\n",
+			proto, res.DeliveryRate, res.DeliveryTime, res.Messages)
+	}
+
+	fmt.Println()
+	fmt.Println("Optimized Gossiping keeps delivery near Flooding's while cutting")
+	fmt.Println("the message count by roughly an order of magnitude — the paper's")
+	fmt.Println("headline result.")
+}

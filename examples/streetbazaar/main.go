@@ -1,0 +1,70 @@
+// Street bazaar: a mixed street scene — vehicles with 125 m radios and
+// walking pedestrians with 50 m handsets — where a bazaar stall issues a
+// multi-keyword ad ("retail" + "food", "bargain"). Shows heterogeneous
+// ranges (asymmetric links), keyword-based interest matching, and how the
+// pedestrian share shifts delivery quality.
+//
+//	go run ./examples/streetbazaar
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"instantad"
+)
+
+func main() {
+	fmt.Println("Street bazaar: vehicles (125 m radios) + pedestrians (50 m handsets)")
+	fmt.Println()
+	fmt.Printf("%12s %14s %15s %10s\n", "pedestrians", "delivery rate", "delivery time", "messages")
+
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		sc := instantad.DefaultScenario()
+		sc.Protocol = instantad.GossipOpt
+		sc.NumPeers = 350
+		sc.SimTime = 400
+		sc.PedestrianFraction = frac
+		sc.R = 400
+		sc.Category = "retail"
+
+		sim, err := sc.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Shoppers are interested in food or bargains, not "retail" per se —
+		// the ad reaches them through its extra keywords.
+		rnd := sim.Rand("interests")
+		for i := 0; i < sim.Net.NumPeers(); i++ {
+			if rnd.Bool(0.5) {
+				sim.Net.Peer(i).SetInterests("food")
+			} else {
+				sim.Net.Peer(i).SetInterests("bargain")
+			}
+		}
+		h := sim.ScheduleAd(60, instantad.Point{X: 750, Y: 750}, instantad.AdSpec{
+			R: sc.R, D: sc.D, Category: "retail",
+			Keywords: []string{"food", "bargain"},
+			Text:     "Bazaar open till dusk: street food and end-of-day bargains",
+		})
+		sim.Engine.Run(sc.SimTime)
+		if h.Err != nil {
+			fmt.Fprintln(os.Stderr, h.Err)
+			os.Exit(1)
+		}
+		rep, err := sim.Metrics.Report(h.Ad.ID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%11.0f%% %13.1f%% %14.1fs %10d\n",
+			frac*100, rep.DeliveryRate, rep.DeliveryTimes.Mean, rep.Messages)
+	}
+
+	fmt.Println()
+	fmt.Println("Store & Forward gossip absorbs a moderate pedestrian share with")
+	fmt.Println("barely a dent, but once vehicles get scarce the 50 m handset mesh")
+	fmt.Println("falls below its percolation point and delivery collapses — the")
+	fmt.Println("long-range relays were carrying the area.")
+}

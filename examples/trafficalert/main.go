@@ -1,0 +1,53 @@
+// Traffic alert: the paper's "more general type of information advertising"
+// — an incident advisory disseminated to fast vehicles on a Manhattan street
+// grid. Vehicles move at urban speeds (15±5 m/s) along streets; the alert
+// must reach cars approaching the incident area quickly and then disappear
+// once cleared. Compares Restricted Flooding against Optimized Gossiping on
+// the same trajectories.
+//
+//	go run ./examples/trafficalert
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"instantad"
+)
+
+func main() {
+	base := instantad.DefaultScenario()
+	base.Mobility = instantad.Manhattan
+	base.BlockSize = 150
+	base.NumPeers = 350
+	base.SpeedMean = 15
+	base.SpeedDelta = 5
+	base.SimTime = 400
+	base.R = 450 // the congested neighbourhood
+	base.D = 240 // advisory valid for four minutes
+	base.Category = "emergency"
+	base.IssueAt = instantad.Point{X: 750, Y: 750}
+
+	fmt.Println("Incident advisory on a Manhattan grid (350 vehicles, 15±5 m/s)")
+	fmt.Println()
+	fmt.Printf("%-24s %14s %15s %10s %12s\n",
+		"protocol", "delivery rate", "delivery time", "messages", "bytes on air")
+
+	for _, proto := range []instantad.Protocol{instantad.Flooding, instantad.GossipOpt} {
+		sc := base
+		sc.Protocol = proto
+		res, err := sc.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-24s %13.1f%% %14.1fs %10.0f %11.0fK\n",
+			proto, res.DeliveryRate, res.DeliveryTime, res.Messages, res.Bytes/1024)
+	}
+
+	fmt.Println()
+	fmt.Println("Gossiping keeps the advisory alive without the issuer staying")
+	fmt.Println("online (the reporting driver leaves the scene), at a fraction of")
+	fmt.Println("flooding's channel load — critical when an incident already")
+	fmt.Println("congests the neighbourhood's airwaves.")
+}

@@ -1,0 +1,3 @@
+module instantad
+
+go 1.22

@@ -1,0 +1,152 @@
+package ads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one cached advertisement together with its protocol bookkeeping:
+// the most recently refreshed forwarding probability (the cache's eviction
+// key) and, under Optimized Gossiping-2, the per-entry next scheduled gossip
+// time and its timer handle.
+type Entry struct {
+	Ad *Advertisement
+	// Prob is the forwarding probability computed at the owner's position at
+	// the last refresh. Eviction drops the entry with the smallest Prob.
+	Prob float64
+	// ScheduledAt is the per-entry next gossip time under Optimized
+	// Gossiping-2 (every entry gossips together each round otherwise).
+	ScheduledAt float64
+	// Timer is an opaque handle owned by the protocol (a *sim.Event); the
+	// cache only carries it so eviction can hand it back for cancellation.
+	Timer any
+}
+
+// Cache is the per-peer Store & Forward advertisement cache. The paper keeps
+// at most k ads, evicting the one with the lowest forwarding probability when
+// an insert overflows (Algorithm 1). The zero value is not usable; construct
+// with NewCache.
+type Cache struct {
+	k       int
+	entries map[ID]*Entry
+	order   []ID // insertion order, for deterministic iteration
+}
+
+// NewCache returns an empty cache that holds at most k ads. It panics if
+// k < 1.
+func NewCache(k int) *Cache {
+	if k < 1 {
+		panic(fmt.Sprintf("ads: cache capacity %d < 1", k))
+	}
+	return &Cache{k: k, entries: make(map[ID]*Entry, k+1)}
+}
+
+// K returns the configured capacity.
+func (c *Cache) K() int { return c.k }
+
+// Len returns the number of cached ads. It can transiently be K+1 between an
+// Insert and the follow-up EvictLowest (the paper refreshes probabilities
+// before choosing the victim, and refresh is the protocol's job).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Get returns the entry for id, or nil when absent.
+func (c *Cache) Get(id ID) *Entry {
+	return c.entries[id]
+}
+
+// Insert adds ad with the given initial probability. It returns the new
+// entry and whether the cache now exceeds its capacity (in which case the
+// caller must refresh probabilities and call EvictLowest). Inserting an ID
+// that is already present panics: the protocol must route duplicates through
+// its merge path, not Insert.
+func (c *Cache) Insert(ad *Advertisement, prob float64) (e *Entry, overflow bool) {
+	if _, dup := c.entries[ad.ID]; dup {
+		panic(fmt.Sprintf("ads: duplicate insert of %v", ad.ID))
+	}
+	e = &Entry{Ad: ad, Prob: prob}
+	c.entries[ad.ID] = e
+	c.order = append(c.order, ad.ID)
+	return e, len(c.entries) > c.k
+}
+
+// Remove deletes the entry for id and returns it (nil when absent).
+func (c *Cache) Remove(id ID) *Entry {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	delete(c.entries, id)
+	for i, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return e
+}
+
+// EvictLowest removes and returns the entry with the smallest probability,
+// breaking ties by insertion order (oldest first). It returns nil when the
+// cache is empty.
+func (c *Cache) EvictLowest() *Entry {
+	var victim ID
+	found := false
+	best := 0.0
+	for _, id := range c.order {
+		e := c.entries[id]
+		if !found || e.Prob < best {
+			victim, best, found = id, e.Prob, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return c.Remove(victim)
+}
+
+// EvictOldest removes and returns the earliest-inserted entry (FIFO), or
+// nil when empty. Provided for the eviction-policy ablation; the paper's
+// rule is EvictLowest.
+func (c *Cache) EvictOldest() *Entry {
+	if len(c.order) == 0 {
+		return nil
+	}
+	return c.Remove(c.order[0])
+}
+
+// Entries returns the cached entries in insertion order. The slice is fresh
+// but the entries are shared; callers may mutate Prob/ScheduledAt in place.
+func (c *Cache) Entries() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, id := range c.order {
+		out = append(out, c.entries[id])
+	}
+	return out
+}
+
+// IDs returns the cached ad IDs sorted for stable test output.
+func (c *Cache) IDs() []ID {
+	out := make([]ID, 0, len(c.entries))
+	for id := range c.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Issuer != out[j].Issuer {
+			return out[i].Issuer < out[j].Issuer
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// RemoveExpired deletes every entry whose ad has expired at time now and
+// returns the removed entries.
+func (c *Cache) RemoveExpired(now float64) []*Entry {
+	var removed []*Entry
+	for _, id := range append([]ID(nil), c.order...) {
+		if e := c.entries[id]; e != nil && e.Ad.Expired(now) {
+			removed = append(removed, c.Remove(id))
+		}
+	}
+	return removed
+}

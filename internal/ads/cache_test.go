@@ -1,0 +1,195 @@
+package ads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"instantad/internal/geo"
+)
+
+func adWith(issuer, seq uint32) *Advertisement {
+	return &Advertisement{
+		ID:       ID{Issuer: issuer, Seq: seq},
+		Origin:   geo.Point{X: 100, Y: 100},
+		IssuedAt: 0,
+		R:        500,
+		D:        1800,
+	}
+}
+
+func TestNewCachePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCache(0) did not panic")
+		}
+	}()
+	NewCache(0)
+}
+
+func TestInsertGetRemove(t *testing.T) {
+	c := NewCache(3)
+	a := adWith(1, 1)
+	e, overflow := c.Insert(a, 0.5)
+	if overflow {
+		t.Error("overflow on first insert")
+	}
+	if e.Ad != a || e.Prob != 0.5 {
+		t.Error("entry fields wrong")
+	}
+	if got := c.Get(a.ID); got != e {
+		t.Error("Get returned different entry")
+	}
+	if got := c.Get(ID{9, 9}); got != nil {
+		t.Error("Get on absent ID returned entry")
+	}
+	if r := c.Remove(a.ID); r != e {
+		t.Error("Remove returned different entry")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after remove", c.Len())
+	}
+	if r := c.Remove(a.ID); r != nil {
+		t.Error("double remove returned entry")
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	c := NewCache(3)
+	c.Insert(adWith(1, 1), 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	c.Insert(adWith(1, 1), 0.7)
+}
+
+func TestOverflowAndEvictLowest(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(adWith(1, 1), 0.9)
+	c.Insert(adWith(1, 2), 0.3)
+	_, overflow := c.Insert(adWith(1, 3), 0.6)
+	if !overflow {
+		t.Fatal("no overflow at k+1 ads")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want transient 3", c.Len())
+	}
+	victim := c.EvictLowest()
+	if victim == nil || victim.Ad.ID != (ID{1, 2}) {
+		t.Fatalf("evicted %v, want ad-1/2", victim)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d after eviction", c.Len())
+	}
+}
+
+func TestEvictTieBreaksOldestFirst(t *testing.T) {
+	c := NewCache(3)
+	c.Insert(adWith(1, 1), 0.5)
+	c.Insert(adWith(1, 2), 0.5)
+	v := c.EvictLowest()
+	if v.Ad.ID != (ID{1, 1}) {
+		t.Errorf("evicted %v, want the older ad-1/1", v.Ad.ID)
+	}
+}
+
+func TestEvictLowestEmpty(t *testing.T) {
+	if v := NewCache(1).EvictLowest(); v != nil {
+		t.Error("EvictLowest on empty cache returned entry")
+	}
+}
+
+func TestEntriesInsertionOrder(t *testing.T) {
+	c := NewCache(5)
+	ids := []ID{{1, 3}, {1, 1}, {2, 7}}
+	for _, id := range ids {
+		c.Insert(adWith(id.Issuer, id.Seq), 0.1)
+	}
+	es := c.Entries()
+	if len(es) != 3 {
+		t.Fatalf("Entries len = %d", len(es))
+	}
+	for i, e := range es {
+		if e.Ad.ID != ids[i] {
+			t.Errorf("entry %d = %v, want %v", i, e.Ad.ID, ids[i])
+		}
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	c := NewCache(5)
+	c.Insert(adWith(2, 1), 0.1)
+	c.Insert(adWith(1, 2), 0.1)
+	c.Insert(adWith(1, 1), 0.1)
+	ids := c.IDs()
+	want := []ID{{1, 1}, {1, 2}, {2, 1}}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRemoveExpired(t *testing.T) {
+	c := NewCache(5)
+	fresh := adWith(1, 1) // D = 1800
+	old := adWith(1, 2)
+	old.D = 10
+	c.Insert(fresh, 0.5)
+	c.Insert(old, 0.5)
+	removed := c.RemoveExpired(100)
+	if len(removed) != 1 || removed[0].Ad.ID != (ID{1, 2}) {
+		t.Fatalf("removed %v, want just ad-1/2", removed)
+	}
+	if c.Len() != 1 || c.Get(fresh.ID) == nil {
+		t.Error("fresh ad should remain")
+	}
+}
+
+func TestCacheNeverExceedsKPlusOneProperty(t *testing.T) {
+	// Driving the cache the way protocols do (insert, then evict on
+	// overflow) keeps Len ≤ k at rest.
+	f := func(ops []uint16, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		c := NewCache(k)
+		for i, op := range ops {
+			id := ID{Issuer: uint32(op % 50), Seq: uint32(op / 50)}
+			if c.Get(id) != nil {
+				continue
+			}
+			_, overflow := c.Insert(adWith(id.Issuer, id.Seq), float64(i%10)/10)
+			if overflow {
+				if c.EvictLowest() == nil {
+					return false
+				}
+			}
+			if c.Len() > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKAccessor(t *testing.T) {
+	if NewCache(7).K() != 7 {
+		t.Error("K accessor wrong")
+	}
+}
+
+func TestEvictOldest(t *testing.T) {
+	c := NewCache(3)
+	c.Insert(adWith(1, 1), 0.9)
+	c.Insert(adWith(1, 2), 0.1)
+	v := c.EvictOldest()
+	if v == nil || v.Ad.ID != (ID{1, 1}) {
+		t.Fatalf("evicted %v, want the first-inserted ad-1/1", v)
+	}
+	if NewCache(1).EvictOldest() != nil {
+		t.Error("EvictOldest on empty cache returned entry")
+	}
+}

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"instantad/internal/core"
+	"instantad/internal/experiment"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Name = "roundtrip"
+	sc.Protocol = core.GossipOpt2
+	sc.LossRate = 0.05
+	sc.Collisions = true
+	sc.DIS = 200
+	sc.IssueAt.X, sc.IssueAt.Y = 100, 200
+	sc.Popularity = core.PopularityConfig{
+		Enabled: true, F: 4, L: 16, SketchSeed: 9, RInc: 50, DInc: 20, RMax: 900, DMax: 500,
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Errorf("roundtrip mismatch:\n got  %+v\n want %+v", got, sc)
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"alpha"`, `"alhpa"`, 1)
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("typo'd field accepted")
+	}
+}
+
+func TestDecodeRejectsBadProtocol(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	var buf bytes.Buffer
+	_ = Encode(&buf, sc)
+	bad := strings.Replace(buf.String(), "Optimized Gossiping", "Telepathy", 1)
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestDecodeValidatesScenario(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	var buf bytes.Buffer
+	_ = Encode(&buf, sc)
+	bad := strings.Replace(buf.String(), `"num_peers": 300`, `"num_peers": 0`, 1)
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	sc := experiment.DefaultScenario()
+	sc.Seed = 42
+	if err := Save(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Error("save/load mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadedScenarioRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	sc := experiment.DefaultScenario()
+	sc.NumPeers = 60
+	sc.D = 100
+	sc.SimTime = 250
+	if err := Save(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != direct.Messages || res.DeliveryRate != direct.DeliveryRate {
+		t.Error("loaded scenario diverged from the original")
+	}
+}

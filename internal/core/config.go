@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Protocol selects which dissemination scheme a Network runs.
+type Protocol int
+
+const (
+	// Flooding is the Restricted Flooding baseline (Section III.B): the
+	// issuer re-broadcasts every round with the current radius embedded;
+	// receivers inside the radius relay once per cycle.
+	Flooding Protocol = iota
+	// Gossip is pure Opportunistic Gossiping (Section III.C): every peer
+	// broadcasts each cached ad with probability P every round.
+	Gossip
+	// GossipOpt1 adds Optimization Mechanism (1): the annular
+	// velocity-constrained probability function (Formula 3).
+	GossipOpt1
+	// GossipOpt2 adds Optimization Mechanism (2): per-entry gossip timers
+	// postponed on overhearing (Formula 4).
+	GossipOpt2
+	// GossipOpt combines both mechanisms — the paper's "Optimized Gossiping".
+	GossipOpt
+	// RelevanceExchange is the Opportunistic Resource Exchange comparator
+	// from the paper's related work: relevance-ranked resources exchanged at
+	// peer encounters instead of gossiped every round.
+	RelevanceExchange
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Flooding:
+		return "Flooding"
+	case Gossip:
+		return "Gossiping"
+	case GossipOpt1:
+		return "Optimized Gossiping-1"
+	case GossipOpt2:
+		return "Optimized Gossiping-2"
+	case GossipOpt:
+		return "Optimized Gossiping"
+	case RelevanceExchange:
+		return "Relevance Exchange"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Protocols lists the paper's protocols, in the order its figures plot them.
+// The related-work comparator is excluded; see AllProtocols.
+func Protocols() []Protocol {
+	return []Protocol{Flooding, Gossip, GossipOpt2, GossipOpt1, GossipOpt}
+}
+
+// AllProtocols lists every implemented protocol, including the related-work
+// Relevance Exchange comparator.
+func AllProtocols() []Protocol {
+	return append(Protocols(), RelevanceExchange)
+}
+
+// ParseProtocol converts a name (as produced by String, case-sensitive) back
+// to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range AllProtocols() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown protocol %q", s)
+}
+
+// usesOpt1 reports whether the protocol applies the annular probability.
+func (p Protocol) usesOpt1() bool { return p == GossipOpt1 || p == GossipOpt }
+
+// usesOpt2 reports whether the protocol uses per-entry postponable timers.
+func (p Protocol) usesOpt2() bool { return p == GossipOpt2 || p == GossipOpt }
+
+// isGossip reports whether the protocol is any of the paper's gossiping
+// variants (round-based probabilistic forwarding).
+func (p Protocol) isGossip() bool { return p != Flooding && p != RelevanceExchange }
+
+// PopularityConfig parameterizes the interest-ranking mechanism
+// (Section III.E). The zero value disables it.
+type PopularityConfig struct {
+	// Enabled turns the mechanism on.
+	Enabled bool
+	// F is the number of independent FM sketches per ad; L is each sketch's
+	// length in bits. The paper suggests small fixed sizes (we default to
+	// 8×32 when zero).
+	F, L int
+	// SketchSeed selects the hash family shared by all peers.
+	SketchSeed uint64
+	// RInc and DInc are the base enlargement increments of Formula 7: on a
+	// rank increase the ad grows by RInc/log₂(rank+1) meters and
+	// DInc/log₂(rank+1) seconds.
+	RInc, DInc float64
+	// RMax and DMax cap the enlarged radius and duration ("these two
+	// parameters can not be increased infinitely"). Zero means 4× the ad's
+	// initial value.
+	RMax, DMax float64
+}
+
+func (c PopularityConfig) withDefaults() PopularityConfig {
+	if !c.Enabled {
+		return c
+	}
+	if c.F == 0 {
+		c.F = 8
+	}
+	if c.L == 0 {
+		c.L = 32
+	}
+	return c
+}
+
+func (c PopularityConfig) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.F < 1 || c.L < 1 || c.L > 64 {
+		return fmt.Errorf("core: popularity sketch shape %d×%d invalid", c.F, c.L)
+	}
+	if c.RInc < 0 || c.DInc < 0 || c.RMax < 0 || c.DMax < 0 {
+		return fmt.Errorf("core: negative popularity increment or cap")
+	}
+	return nil
+}
+
+// EvictionPolicy selects the cache-overflow victim rule.
+type EvictionPolicy int
+
+const (
+	// EvictLowestProb drops the ad with the smallest refreshed forwarding
+	// probability — the paper's Algorithm 1 (far-away and old ads go first).
+	EvictLowestProb EvictionPolicy = iota
+	// EvictOldestFirst drops the earliest-cached ad (FIFO) — ablation.
+	EvictOldestFirst
+	// EvictRandomEntry drops a uniformly random ad — ablation.
+	EvictRandomEntry
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Protocol selects the dissemination scheme.
+	Protocol Protocol
+	// Params are the probability/decay tuning parameters.
+	Params ProbParams
+	// RoundTime is the gossiping round Δt in seconds (also the flooding
+	// broadcast cycle).
+	RoundTime float64
+	// DIS is the annular-region width of Optimization Mechanism (1), meters.
+	// The physical lower bound is V_max·Δt; the paper extends it (to R/4 in
+	// the experiments) to keep delivery high in sparse networks.
+	DIS float64
+	// CacheK is the Store & Forward cache capacity per peer.
+	CacheK int
+	// Eviction selects the overflow victim rule (default: the paper's
+	// lowest-probability rule).
+	Eviction EvictionPolicy
+	// Popularity configures interest ranking; zero value disables it.
+	Popularity PopularityConfig
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Protocol < Flooding || c.Protocol > RelevanceExchange {
+		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.RoundTime <= 0 {
+		return fmt.Errorf("core: non-positive round time %v", c.RoundTime)
+	}
+	if c.Protocol.usesOpt1() && c.DIS <= 0 {
+		return fmt.Errorf("core: %v requires positive DIS", c.Protocol)
+	}
+	if c.DIS < 0 {
+		return fmt.Errorf("core: negative DIS %v", c.DIS)
+	}
+	if c.CacheK < 1 {
+		return fmt.Errorf("core: cache capacity %d < 1", c.CacheK)
+	}
+	if c.Eviction < EvictLowestProb || c.Eviction > EvictRandomEntry {
+		return fmt.Errorf("core: unknown eviction policy %d", c.Eviction)
+	}
+	return c.Popularity.validate()
+}

@@ -1,0 +1,581 @@
+package core
+
+import (
+	"fmt"
+
+	"instantad/internal/ads"
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/radio"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+// Observer receives protocol-level events for metrics collection. All
+// callbacks run synchronously inside the simulation loop; implementations
+// must not block. Use BaseObserver to implement a subset.
+type Observer interface {
+	// OnIssue fires when an issuer injects a new advertisement.
+	OnIssue(issuer int, ad *ads.Advertisement, t float64)
+	// OnBroadcast fires once per transmitted advertisement frame.
+	OnBroadcast(peer int, id ads.ID, bytes int, t float64)
+	// OnFirstReceive fires the first time a given peer ever hears a given ad.
+	OnFirstReceive(peer int, ad *ads.Advertisement, t float64)
+	// OnDuplicate fires when a peer hears an ad it already caches (gossip
+	// variants) or already relayed this cycle (flooding).
+	OnDuplicate(peer int, id ads.ID, t float64)
+	// OnExpire fires when a peer drops an ad because its age exceeded D.
+	OnExpire(peer int, id ads.ID, t float64)
+	// OnEvict fires when the cache evicts an ad to make room.
+	OnEvict(peer int, id ads.ID, t float64)
+}
+
+// MultiObserver fans every event out to several observers in order — e.g. a
+// metrics collector plus a trace recorder.
+func MultiObserver(obs ...Observer) Observer {
+	flat := make(multiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	return flat
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) OnIssue(issuer int, ad *ads.Advertisement, t float64) {
+	for _, o := range m {
+		o.OnIssue(issuer, ad, t)
+	}
+}
+func (m multiObserver) OnBroadcast(peer int, id ads.ID, bytes int, t float64) {
+	for _, o := range m {
+		o.OnBroadcast(peer, id, bytes, t)
+	}
+}
+func (m multiObserver) OnFirstReceive(peer int, ad *ads.Advertisement, t float64) {
+	for _, o := range m {
+		o.OnFirstReceive(peer, ad, t)
+	}
+}
+func (m multiObserver) OnDuplicate(peer int, id ads.ID, t float64) {
+	for _, o := range m {
+		o.OnDuplicate(peer, id, t)
+	}
+}
+func (m multiObserver) OnExpire(peer int, id ads.ID, t float64) {
+	for _, o := range m {
+		o.OnExpire(peer, id, t)
+	}
+}
+func (m multiObserver) OnEvict(peer int, id ads.ID, t float64) {
+	for _, o := range m {
+		o.OnEvict(peer, id, t)
+	}
+}
+
+// BaseObserver is a no-op Observer for embedding.
+type BaseObserver struct{}
+
+func (BaseObserver) OnIssue(int, *ads.Advertisement, float64)        {}
+func (BaseObserver) OnBroadcast(int, ads.ID, int, float64)           {}
+func (BaseObserver) OnFirstReceive(int, *ads.Advertisement, float64) {}
+func (BaseObserver) OnDuplicate(int, ads.ID, float64)                {}
+func (BaseObserver) OnExpire(int, ads.ID, float64)                   {}
+func (BaseObserver) OnEvict(int, ads.ID, float64)                    {}
+
+// gossipFrame is the payload of a gossiped advertisement broadcast. The ad
+// is an immutable snapshot shared by all receivers of the frame.
+type gossipFrame struct {
+	ad *ads.Advertisement
+}
+
+// floodFrame is the payload of a Restricted Flooding broadcast. radius is
+// the advertising radius the issuer embedded for this cycle; receivers
+// beyond it do not relay.
+type floodFrame struct {
+	ad     *ads.Advertisement
+	cycle  uint32
+	radius float64
+}
+
+// floodHeaderBytes is the wire overhead a flood frame adds to the encoded
+// ad: a 4-byte cycle counter and an 8-byte radius.
+const floodHeaderBytes = 12
+
+// Network wires peers, the wireless channel and a protocol configuration
+// into one runnable mobile P2P advertising system.
+type Network struct {
+	cfg   Config
+	sim   *sim.Simulator
+	ch    *radio.Channel
+	peers []*Peer
+	obs   Observer
+	rnd   *rng.Stream
+
+	started bool
+}
+
+// New builds a network of len(models) peers moving per the given mobility
+// models, communicating over a channel with the given radio configuration,
+// and running cfg.Protocol. The rnd stream seeds all protocol randomness;
+// the channel's jitter/loss randomness is split from it too.
+func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg Config, rnd *rng.Stream) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("core: no peers")
+	}
+	cfg.Popularity = cfg.Popularity.withDefaults()
+	n := &Network{
+		cfg: cfg,
+		sim: s,
+		obs: BaseObserver{},
+		rnd: rnd,
+	}
+	ch, err := radio.New(s, radioCfg, models, n.deliver, rnd.Split("radio"))
+	if err != nil {
+		return nil, err
+	}
+	n.ch = ch
+	n.peers = make([]*Peer, len(models))
+	for i := range models {
+		n.peers[i] = &Peer{
+			id:        i,
+			net:       n,
+			userID:    rnd.SplitIndex("user", i).Uint64(),
+			interests: make(map[string]bool),
+			cache:     ads.NewCache(cfg.CacheK),
+			rnd:       rnd.SplitIndex("peer", i),
+			received:  make(map[ads.ID]bool),
+			relayed:   make(map[ads.ID]uint32),
+		}
+	}
+	return n, nil
+}
+
+// SetObserver installs the metrics observer. It must be called before Start;
+// a nil observer resets to the no-op.
+func (n *Network) SetObserver(obs Observer) {
+	if obs == nil {
+		n.obs = BaseObserver{}
+		return
+	}
+	n.obs = obs
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Channel returns the wireless channel.
+func (n *Network) Channel() *radio.Channel { return n.ch }
+
+// Config returns the protocol configuration (after defaulting).
+func (n *Network) Config() Config { return n.cfg }
+
+// NumPeers returns the number of peers.
+func (n *Network) NumPeers() int { return len(n.peers) }
+
+// Peer returns peer i.
+func (n *Network) Peer(i int) *Peer { return n.peers[i] }
+
+// SetPeerOnline powers peer i's radio on or off. Offline peers keep their
+// caches (the device is pocketed, not wiped) but neither send nor receive —
+// the paper's issuer "going off-line" after spreading an ad, or general
+// churn.
+func (n *Network) SetPeerOnline(i int, on bool) error {
+	return n.ch.SetOnline(i, on)
+}
+
+// Start arms the per-peer gossip schedulers. For round-based variants every
+// peer gets a ticker with a random phase in [0, Δt) — the paper's peers
+// "work asynchronously". Under Optimized Gossiping-2 entries schedule
+// themselves, so no per-peer ticker is needed. Start must be called exactly
+// once, before the simulation runs past 0.
+func (n *Network) Start() {
+	if n.started {
+		panic("core: Network.Start called twice")
+	}
+	n.started = true
+	switch {
+	case n.cfg.Protocol == RelevanceExchange:
+		for _, p := range n.peers {
+			p.startRelevance()
+		}
+	case n.cfg.Protocol.isGossip() && !n.cfg.Protocol.usesOpt2():
+		for _, p := range n.peers {
+			p := p
+			offset := p.rnd.Range(0, n.cfg.RoundTime)
+			p.ticker = n.sim.Every(offset, n.cfg.RoundTime, p.gossipRound)
+		}
+	}
+}
+
+// AdSpec describes an advertisement to issue.
+type AdSpec struct {
+	R        float64  // initial advertising radius, meters
+	D        float64  // initial duration, seconds
+	Category string   // ad type used for interest matching
+	Keywords []string // extra interest keywords beyond the category
+	Text     string   // payload
+}
+
+// IssueAd injects a new advertisement at the issuer's current position and
+// the current simulation time, and performs the protocol's issue behavior:
+// Restricted Flooding starts the issuer's periodic broadcast; gossip
+// variants insert the ad into the issuer's cache and broadcast it once (the
+// issuer may then "go off-line" — it keeps gossiping like any other peer,
+// but the ad no longer depends on it).
+func (n *Network) IssueAd(issuer int, spec AdSpec) (*ads.Advertisement, error) {
+	if issuer < 0 || issuer >= len(n.peers) {
+		return nil, fmt.Errorf("core: unknown issuer %d", issuer)
+	}
+	p := n.peers[issuer]
+	ad := &ads.Advertisement{
+		ID:       ads.ID{Issuer: uint32(issuer), Seq: p.nextSeq},
+		Origin:   n.ch.PositionOf(issuer),
+		IssuedAt: n.sim.Now(),
+		R:        spec.R,
+		D:        spec.D,
+		Category: spec.Category,
+		Keywords: spec.Keywords,
+		Text:     spec.Text,
+	}
+	p.nextSeq++
+	if err := ad.Validate(); err != nil {
+		return nil, err
+	}
+	if n.cfg.Popularity.Enabled {
+		ad.Sketch = newSketch(n.cfg.Popularity)
+	}
+	n.obs.OnIssue(issuer, ad, n.sim.Now())
+	// The issuer trivially holds its own ad: record the delivery so metrics
+	// denominators and numerators agree.
+	p.markReceived(ad)
+	if n.cfg.Protocol == Flooding {
+		p.startFloodCycle(ad)
+		return ad, nil
+	}
+	if n.cfg.Protocol == RelevanceExchange {
+		own := ad.Clone()
+		rel := Relevance(own, 0, n.sim.Now())
+		if _, overflow := p.cache.Insert(own, rel); overflow {
+			if victim := p.cache.EvictLowest(); victim != nil {
+				n.obs.OnEvict(p.id, victim.Ad.ID, n.sim.Now())
+			}
+		}
+		p.broadcastAd(own)
+		return ad, nil
+	}
+	// Gossip variants: self-deliver and spread once.
+	own := ad.Clone()
+	p.applyPopularity(own)
+	e, overflow := p.cache.Insert(own, p.forwardProb(own))
+	if n.cfg.Protocol.usesOpt2() {
+		p.armEntryTimer(e)
+	}
+	if overflow {
+		p.evictOne()
+	}
+	p.broadcastAd(own)
+	return ad, nil
+}
+
+// deliver routes an arriving frame to the receiving peer's protocol handler.
+func (n *Network) deliver(to int, f radio.Frame) {
+	p := n.peers[to]
+	switch payload := f.Payload.(type) {
+	case gossipFrame:
+		if n.cfg.Protocol == RelevanceExchange {
+			p.handleRelevance(payload)
+		} else {
+			p.handleGossip(payload, f.From)
+		}
+	case floodFrame:
+		p.handleFlood(payload)
+	default:
+		panic(fmt.Sprintf("core: unknown frame payload %T", f.Payload))
+	}
+}
+
+// Peer is one mobile device participating in the network.
+type Peer struct {
+	id        int
+	net       *Network
+	userID    uint64
+	interests map[string]bool
+	cache     *ads.Cache
+	rnd       *rng.Stream
+	nextSeq   uint32
+	ticker    *sim.Ticker
+
+	// received marks ads this peer has ever heard (delivery bookkeeping).
+	received map[ads.ID]bool
+	// relayed maps ad → last flooding cycle this peer relayed.
+	relayed map[ads.ID]uint32
+	// relevance holds the Relevance Exchange comparator's state, nil under
+	// the paper's own protocols.
+	relevance *relevancePeerState
+}
+
+// ID returns the peer's index.
+func (p *Peer) ID() int { return p.id }
+
+// UserID returns the stable identity hashed into FM sketches.
+func (p *Peer) UserID() uint64 { return p.userID }
+
+// Cache returns the peer's advertisement cache.
+func (p *Peer) Cache() *ads.Cache { return p.cache }
+
+// SetInterests replaces the peer's interest keywords.
+func (p *Peer) SetInterests(keywords ...string) {
+	p.interests = make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		p.interests[k] = true
+	}
+}
+
+// Interests returns the peer's interest set (shared map; do not mutate).
+func (p *Peer) Interests() map[string]bool { return p.interests }
+
+// Matches implements the paper's Match(ad, interest) predicate: the ad's
+// category — or any of its keywords — is one of the peer's interests.
+func (p *Peer) Matches(ad *ads.Advertisement) bool {
+	return ad.MatchesAny(p.interests)
+}
+
+// HasReceived reports whether the peer has ever heard the given ad.
+func (p *Peer) HasReceived(id ads.ID) bool { return p.received[id] }
+
+// Position returns the peer's current position.
+func (p *Peer) Position() geo.Point { return p.net.ch.PositionOf(p.id) }
+
+// forwardProb evaluates the protocol's probability function for ad at the
+// peer's current position and the current time.
+func (p *Peer) forwardProb(ad *ads.Advertisement) float64 {
+	n := p.net
+	d := p.Position().Dist(ad.Origin)
+	age := ad.Age(n.sim.Now())
+	if n.cfg.Protocol.usesOpt1() {
+		return ForwardProbOpt1(n.cfg.Params, d, ad.R, ad.D, age, n.cfg.DIS)
+	}
+	return ForwardProb(n.cfg.Params, d, ad.R, ad.D, age)
+}
+
+// broadcastAd transmits a snapshot of ad to all neighbors. A powered-down
+// peer transmits nothing (and counts nothing).
+func (p *Peer) broadcastAd(ad *ads.Advertisement) {
+	if !p.net.ch.Online(p.id) {
+		return
+	}
+	snap := ad.Clone()
+	bytes := snap.WireSize()
+	p.net.obs.OnBroadcast(p.id, snap.ID, bytes, p.net.sim.Now())
+	p.net.ch.Broadcast(radio.Frame{From: p.id, Payload: gossipFrame{ad: snap}, Bytes: bytes})
+}
+
+// markReceived records delivery and fires OnFirstReceive exactly once.
+func (p *Peer) markReceived(ad *ads.Advertisement) {
+	if p.received[ad.ID] {
+		return
+	}
+	p.received[ad.ID] = true
+	p.net.obs.OnFirstReceive(p.id, ad, p.net.sim.Now())
+}
+
+// handleGossip implements Algorithms 1 and 3: duplicate ads merge popularity
+// state and (under Optimization Mechanism 2) postpone the entry's next
+// gossip; new ads are ranked, cached and scheduled.
+func (p *Peer) handleGossip(f gossipFrame, from int) {
+	n := p.net
+	now := n.sim.Now()
+	ad := f.ad
+	if ad.Expired(now) {
+		return // stale in-flight copy
+	}
+	p.markReceived(ad)
+	if e := p.cache.Get(ad.ID); e != nil {
+		n.obs.OnDuplicate(p.id, ad.ID, now)
+		p.mergeDuplicate(e, ad)
+		if n.cfg.Protocol.usesOpt2() {
+			p.postpone(e, from)
+		}
+		return
+	}
+	own := ad.Clone()
+	p.applyPopularity(own)
+	e, overflow := p.cache.Insert(own, p.forwardProb(own))
+	if n.cfg.Protocol.usesOpt2() {
+		p.armEntryTimer(e)
+	}
+	if overflow {
+		p.evictOne()
+	}
+}
+
+// mergeDuplicate folds a duplicate message copy into the cached entry: FM
+// sketches are OR-merged and enlarged propagation parameters adopted, the
+// duplicate-insensitive semantics Section III.E requires (see DESIGN.md).
+func (p *Peer) mergeDuplicate(e *ads.Entry, in *ads.Advertisement) {
+	if e.Ad.Sketch != nil && in.Sketch != nil {
+		// Seed/shape mismatches cannot happen inside one network; ignore the
+		// error to keep the hot path tight.
+		_ = e.Ad.Sketch.Merge(in.Sketch)
+	}
+	if in.R > e.Ad.R {
+		e.Ad.R = in.R
+	}
+	if in.D > e.Ad.D {
+		e.Ad.D = in.D
+	}
+}
+
+// evictOne applies the configured overflow policy. Under the paper's rule
+// every entry's probability is refreshed at the current position first
+// (Algorithm 1's overflow path).
+func (p *Peer) evictOne() {
+	var victim *ads.Entry
+	switch p.net.cfg.Eviction {
+	case EvictOldestFirst:
+		victim = p.cache.EvictOldest()
+	case EvictRandomEntry:
+		entries := p.cache.Entries()
+		if len(entries) > 0 {
+			victim = p.cache.Remove(entries[p.rnd.Intn(len(entries))].Ad.ID)
+		}
+	default: // EvictLowestProb
+		for _, e := range p.cache.Entries() {
+			e.Prob = p.forwardProb(e.Ad)
+		}
+		victim = p.cache.EvictLowest()
+	}
+	if victim == nil {
+		return
+	}
+	p.cancelEntryTimer(victim)
+	p.net.obs.OnEvict(p.id, victim.Ad.ID, p.net.sim.Now())
+}
+
+// gossipRound implements Algorithm 2: refresh probabilities, drop expired
+// ads, then broadcast each cached ad with its probability. It runs once per
+// round on every peer under round-based gossip variants.
+func (p *Peer) gossipRound() {
+	now := p.net.sim.Now()
+	for _, e := range p.cache.RemoveExpired(now) {
+		p.net.obs.OnExpire(p.id, e.Ad.ID, now)
+	}
+	for _, e := range p.cache.Entries() {
+		e.Prob = p.forwardProb(e.Ad)
+		if p.rnd.Bool(e.Prob) {
+			p.broadcastAd(e.Ad)
+		}
+	}
+}
+
+// armEntryTimer schedules an entry's first gossip one round from now
+// (Optimized Gossiping-2 gives every cache entry its own time handler).
+func (p *Peer) armEntryTimer(e *ads.Entry) {
+	id := e.Ad.ID
+	e.ScheduledAt = p.net.sim.Now() + p.net.cfg.RoundTime
+	e.Timer = p.net.sim.Schedule(e.ScheduledAt, func() { p.entryFire(id) })
+}
+
+// cancelEntryTimer cancels an evicted/expired entry's pending timer.
+func (p *Peer) cancelEntryTimer(e *ads.Entry) {
+	if ev, ok := e.Timer.(*sim.Event); ok && ev != nil {
+		p.net.sim.Cancel(ev)
+	}
+}
+
+// entryFire implements Algorithm 4: when an entry's scheduled time arrives,
+// refresh its probability, broadcast with that probability, and reschedule
+// one round later.
+func (p *Peer) entryFire(id ads.ID) {
+	e := p.cache.Get(id)
+	if e == nil {
+		return
+	}
+	now := p.net.sim.Now()
+	if e.Ad.Expired(now) {
+		p.cache.Remove(id)
+		p.net.obs.OnExpire(p.id, id, now)
+		return
+	}
+	e.Prob = p.forwardProb(e.Ad)
+	if p.rnd.Bool(e.Prob) {
+		p.broadcastAd(e.Ad)
+	}
+	e.ScheduledAt = now + p.net.cfg.RoundTime
+	if ev, ok := e.Timer.(*sim.Event); ok {
+		p.net.sim.Reschedule(ev, e.ScheduledAt)
+	}
+}
+
+// postpone implements Algorithm 3's overhearing rule (Formula 4): push the
+// entry's next gossip back by Δt·e^(p·(1+cos θ)/2), where p is the
+// transmission-area overlap with the overheard sender and θ the angle
+// between this peer's velocity and the line toward the sender.
+func (p *Peer) postpone(e *ads.Entry, from int) {
+	n := p.net
+	overlap := n.ch.OverlapWith(from, p.id)
+	toSender := n.ch.PositionOf(from).Sub(n.ch.PositionOf(p.id))
+	theta := geo.AngleBetween(n.ch.VelocityOf(p.id), toSender)
+	e.ScheduledAt += PostponeInterval(n.cfg.RoundTime, overlap, theta)
+	if ev, ok := e.Timer.(*sim.Event); ok {
+		n.sim.Reschedule(ev, e.ScheduledAt)
+	}
+}
+
+// startFloodCycle arms the Restricted Flooding issuer loop: every round the
+// issuer broadcasts the ad with the current (decaying) radius embedded,
+// until the radius collapses to zero at age D. The issuer must stay online
+// for the whole advertising period — the paper's main robustness argument
+// against this baseline.
+func (p *Peer) startFloodCycle(ad *ads.Advertisement) {
+	n := p.net
+	cycle := uint32(0)
+	var tk *sim.Ticker
+	tk = n.sim.Every(0, n.cfg.RoundTime, func() {
+		age := ad.Age(n.sim.Now())
+		rt := RadiusAt(n.cfg.Params, ad.R, ad.D, age)
+		if rt <= 0 {
+			tk.Stop()
+			return
+		}
+		cycle++
+		p.broadcastFlood(floodFrame{ad: ad.Clone(), cycle: cycle, radius: rt})
+	})
+}
+
+// broadcastFlood transmits a flood frame.
+func (p *Peer) broadcastFlood(f floodFrame) {
+	if !p.net.ch.Online(p.id) {
+		return
+	}
+	bytes := f.ad.WireSize() + floodHeaderBytes
+	p.net.obs.OnBroadcast(p.id, f.ad.ID, bytes, p.net.sim.Now())
+	p.net.ch.Broadcast(radio.Frame{From: p.id, Payload: f, Bytes: bytes})
+}
+
+// handleFlood implements the Restricted Flooding relay rule: a receiver
+// inside the embedded radius relays each cycle's message exactly once;
+// receivers outside the radius absorb but do not relay.
+func (p *Peer) handleFlood(f floodFrame) {
+	n := p.net
+	now := n.sim.Now()
+	if f.ad.Expired(now) {
+		return
+	}
+	p.markReceived(f.ad)
+	if last, ok := p.relayed[f.ad.ID]; ok && last >= f.cycle {
+		n.obs.OnDuplicate(p.id, f.ad.ID, now)
+		return
+	}
+	if p.Position().Dist(f.ad.Origin) > f.radius {
+		return
+	}
+	p.relayed[f.ad.ID] = f.cycle
+	p.broadcastFlood(f)
+}

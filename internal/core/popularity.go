@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+
+	"instantad/internal/ads"
+	"instantad/internal/fm"
+)
+
+// newSketch allocates the FM multi-sketch attached to a freshly issued ad.
+func newSketch(cfg PopularityConfig) *fm.Sketch {
+	return fm.New(cfg.F, cfg.L, cfg.SketchSeed)
+}
+
+// Rank returns the ad's estimated popularity (Formula 5 computed via the
+// duplicate-insensitive estimator of Formula 6): the approximate number of
+// distinct users whose interests the ad has matched. Ads without a sketch
+// rank 0.
+func Rank(ad *ads.Advertisement) int {
+	if ad.Sketch == nil {
+		return 0
+	}
+	return ad.Sketch.Rank()
+}
+
+// applyPopularity implements Algorithm 5 on a locally cached copy: if the ad
+// matches one of the peer's interests, hash the peer's user ID into the FM
+// sketches; if that visibly raised the rank, enlarge R and D per Formula 7.
+//
+// The rank-before/rank-after comparison is what makes re-processing safe: a
+// peer whose ID is already reflected in the bitmaps (directly or via a
+// colliding hash) skips the enlargement step.
+func (p *Peer) applyPopularity(ad *ads.Advertisement) {
+	cfg := p.net.cfg.Popularity
+	if !cfg.Enabled || ad.Sketch == nil || !p.Matches(ad) {
+		return
+	}
+	before := ad.Sketch.Rank()
+	if !ad.Sketch.Add(p.userID) {
+		return // bits already set: contribution already reflected
+	}
+	after := ad.Sketch.Rank()
+	if after > before {
+		Enlarge(ad, after, cfg)
+	}
+}
+
+// Enlarge applies Formula 7: R += RInc/log₂(rank+1), D += DInc/log₂(rank+1),
+// clamped to the configured caps. The log factor slows growth as the ad gets
+// popular; with caps it is explicitly bounded. Exported for the live-node
+// implementation of Algorithm 5.
+func Enlarge(ad *ads.Advertisement, rank int, cfg PopularityConfig) {
+	div := math.Log2(float64(rank) + 1)
+	if div <= 0 {
+		return
+	}
+	ad.R += cfg.RInc / div
+	if cfg.RMax > 0 && ad.R > cfg.RMax {
+		ad.R = cfg.RMax
+	}
+	ad.D += cfg.DInc / div
+	if cfg.DMax > 0 && ad.D > cfg.DMax {
+		ad.D = cfg.DMax
+	}
+}

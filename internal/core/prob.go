@@ -1,0 +1,165 @@
+// Package core implements the paper's advertising protocols: Restricted
+// Flooding (the baseline), pure Opportunistic Gossiping, and the two
+// optimization mechanisms — the velocity-constrained annular probability
+// (Optimized Gossiping-1) and overhearing-based gossip postponement
+// (Optimized Gossiping-2) — plus the FM-sketch popularity mechanism that
+// enlarges the advertising area and lifetime of popular ads.
+//
+// This file holds the closed-form pieces: the forwarding-probability
+// functions (Formulas 1 and 3), the advertising-radius decay (Formula 2) and
+// the postponement interval (Formula 4).
+//
+// The paper draws its probability and decay curves on unitless axes
+// (R = 10, D = 50); to give the tuning parameters α and β the same leverage
+// at field scale, distances and ages are converted to units before
+// exponentiation (DistUnit ≈ R₀/10, TimeUnit ≈ D₀/10 by default — see
+// DESIGN.md, "Formula reconstruction").
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProbParams holds the tuning parameters of the propagation model.
+type ProbParams struct {
+	// Alpha ∈ (0,1) sets how fast the forwarding probability drops with
+	// distance (Formula 1). Larger α ⇒ faster drop ⇒ fewer messages.
+	Alpha float64
+	// Beta ∈ (0,1) sets how fast the advertising radius decays with age
+	// (Formula 2). The paper finds its impact negligible.
+	Beta float64
+	// DistUnit converts meters to probability-exponent units. Zero selects
+	// the per-ad default R/10, which reproduces the paper's unitless curves
+	// (drawn with R = 10) for any advertising radius.
+	DistUnit float64
+	// TimeUnit converts seconds to decay-exponent units. Zero selects the
+	// per-ad default D/10.
+	TimeUnit float64
+}
+
+// Validate checks the parameters are inside their domains.
+func (p ProbParams) Validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("core: alpha %v outside (0,1)", p.Alpha)
+	}
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("core: beta %v outside (0,1)", p.Beta)
+	}
+	if p.DistUnit < 0 {
+		return fmt.Errorf("core: dist unit %v must be non-negative (0 = auto R/10)", p.DistUnit)
+	}
+	if p.TimeUnit < 0 {
+		return fmt.Errorf("core: time unit %v must be non-negative (0 = auto D/10)", p.TimeUnit)
+	}
+	return nil
+}
+
+// distUnit resolves the distance unit for an ad with base radius r.
+func (p ProbParams) distUnit(r float64) float64 {
+	if p.DistUnit > 0 {
+		return p.DistUnit
+	}
+	return r / 10
+}
+
+// timeUnit resolves the time unit for an ad with duration d.
+func (p ProbParams) timeUnit(d float64) float64 {
+	if p.TimeUnit > 0 {
+		return p.TimeUnit
+	}
+	return d / 10
+}
+
+// RadiusAt implements Formula 2: the radius of the advertising area for an
+// ad with current base radius R and duration D at the given age.
+//
+//	Rt = (1 − β^((D−age)/TimeUnit))·R   for age ≤ D
+//	Rt = 0                              for age > D
+//
+// Rt stays close to R for most of the lifetime and collapses to exactly 0 at
+// age = D, which eliminates the advertisement.
+func RadiusAt(p ProbParams, r, d, age float64) float64 {
+	if age > d || r <= 0 || d <= 0 {
+		return 0
+	}
+	return (1 - math.Pow(p.Beta, (d-age)/p.timeUnit(d))) * r
+}
+
+// ForwardProb implements Formula 1: the probability that a peer at distance
+// dist from the issuing location forwards an ad with base radius R, duration
+// D and the given age.
+//
+//	P = 1 − α^(Rt/u + 1 − dist/u)     dist ≤ Rt
+//	P = (1−α)·α^((dist−Rt)/u)         dist > Rt
+//
+// P ≈ 1 near the center, falls to 1−α exactly at the boundary (both branches
+// agree there), and decays geometrically outside — a dense distribution
+// inside the advertising area and a sparse one outside, as required.
+func ForwardProb(p ProbParams, dist, r, d, age float64) float64 {
+	rt := RadiusAt(p, r, d, age)
+	if rt <= 0 {
+		return 0
+	}
+	u := p.distUnit(r)
+	du := dist / u
+	rtu := rt / u
+	if dist <= rt {
+		return 1 - math.Pow(p.Alpha, rtu+1-du)
+	}
+	return (1 - p.Alpha) * math.Pow(p.Alpha, du-rtu)
+}
+
+// ForwardProbOpt1 implements Formula 3, the velocity-constrained probability
+// of Optimization Mechanism (1). Peers in the annular region of width dis at
+// the area boundary keep the Formula-1 probability; peers in the central
+// disk are damped geometrically, because any newly entering peer must cross
+// the annulus first (it can move at most DIS = V_max·Δt per round):
+//
+//	P = (1−α)·α^((dist−Rt)/u)                      dist > Rt
+//	P = 1 − α^(Rt/u + 1 − dist/u)                  Rt−dis ≤ dist ≤ Rt
+//	P = (1 − α^(dis/u + 1))·α^((Rt−dis−dist)/u)    dist < Rt−dis
+//
+// The annulus and central branches agree at dist = Rt−dis. When dis ≥ Rt the
+// model degenerates to pure gossiping (Formula 1), matching the paper's
+// remark that the model "restores to pure gossiping" as DIS grows toward R.
+func ForwardProbOpt1(p ProbParams, dist, r, d, age, dis float64) float64 {
+	rt := RadiusAt(p, r, d, age)
+	if rt <= 0 {
+		return 0
+	}
+	if dis >= rt {
+		return ForwardProb(p, dist, r, d, age)
+	}
+	u := p.distUnit(r)
+	du := dist / u
+	rtu := rt / u
+	disu := dis / u
+	switch {
+	case dist > rt:
+		return (1 - p.Alpha) * math.Pow(p.Alpha, du-rtu)
+	case dist >= rt-dis:
+		return 1 - math.Pow(p.Alpha, rtu+1-du)
+	default:
+		return (1 - math.Pow(p.Alpha, disu+1)) * math.Pow(p.Alpha, rtu-disu-du)
+	}
+}
+
+// PostponeInterval implements Formula 4's increment: the amount of time a
+// peer adds to an entry's scheduled gossip time after overhearing a neighbor
+// broadcast the same ad.
+//
+//	interval = Δt·e^(p·(1+cos θ)/2)
+//
+// p ∈ [0,1] is the fraction of the listener's transmission disk covered by
+// the sender's, and θ is the angle between the listener's velocity and the
+// line from listener to sender. A closer sender (larger p) heading the same
+// way (smaller θ) postpones longer, up to Δt·e.
+func PostponeInterval(roundTime, p, theta float64) float64 {
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	return roundTime * math.Exp(p*(1+math.Cos(theta))/2)
+}

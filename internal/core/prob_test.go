@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams mirrors the paper's illustrative scale: R=10, D=50 on unit
+// axes (DistUnit/TimeUnit = 1).
+func paperParams(alpha, beta float64) ProbParams {
+	return ProbParams{Alpha: alpha, Beta: beta, DistUnit: 1, TimeUnit: 1}
+}
+
+// fieldParams mirrors the experiment scale: R₀=500 m, D₀=1800 s with the
+// default unit scaling R₀/10 and D₀/10.
+func fieldParams() ProbParams {
+	return ProbParams{Alpha: 0.5, Beta: 0.5, DistUnit: 50, TimeUnit: 180}
+}
+
+func TestProbParamsValidate(t *testing.T) {
+	bad := []ProbParams{
+		{Alpha: 0, Beta: 0.5, DistUnit: 1, TimeUnit: 1},
+		{Alpha: 1, Beta: 0.5, DistUnit: 1, TimeUnit: 1},
+		{Alpha: 0.5, Beta: 0, DistUnit: 1, TimeUnit: 1},
+		{Alpha: 0.5, Beta: 1, DistUnit: 1, TimeUnit: 1},
+		{Alpha: 0.5, Beta: 0.5, DistUnit: -1, TimeUnit: 1},
+		{Alpha: 0.5, Beta: 0.5, DistUnit: 1, TimeUnit: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+	if err := fieldParams().Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	// Zero units mean "auto-scale to the ad" and are valid.
+	auto := ProbParams{Alpha: 0.5, Beta: 0.5}
+	if err := auto.Validate(); err != nil {
+		t.Errorf("auto-unit params rejected: %v", err)
+	}
+}
+
+func TestAutoUnitsMatchExplicitAtCanonicalScale(t *testing.T) {
+	// Auto units for an R=500/D=1800 ad equal DistUnit=50, TimeUnit=180.
+	auto := ProbParams{Alpha: 0.5, Beta: 0.5}
+	expl := fieldParams()
+	for _, dist := range []float64{0, 100, 400, 520, 900} {
+		for _, age := range []float64{0, 300, 1700} {
+			a := ForwardProb(auto, dist, 500, 1800, age)
+			e := ForwardProb(expl, dist, 500, 1800, age)
+			if math.Abs(a-e) > 1e-12 {
+				t.Errorf("dist %v age %v: auto %v vs explicit %v", dist, age, a, e)
+			}
+		}
+	}
+}
+
+func TestRadiusAtEndpoints(t *testing.T) {
+	p := paperParams(0.5, 0.5)
+	const r, d = 10.0, 50.0
+	// Young ad: radius ≈ R (β^50 is negligible).
+	if got := RadiusAt(p, r, d, 0); math.Abs(got-r) > 1e-9 {
+		t.Errorf("R_0 = %v, want ≈%v", got, r)
+	}
+	// Exactly at expiry the radius collapses to 0.
+	if got := RadiusAt(p, r, d, d); got != 0 {
+		t.Errorf("R_D = %v, want 0", got)
+	}
+	// Beyond expiry it stays 0.
+	if got := RadiusAt(p, r, d, d+1); got != 0 {
+		t.Errorf("R_{D+1} = %v, want 0", got)
+	}
+	// Non-positive base radius.
+	if got := RadiusAt(p, 0, d, 1); got != 0 {
+		t.Errorf("R with zero base = %v", got)
+	}
+}
+
+func TestRadiusAtMonotoneInAgeProperty(t *testing.T) {
+	p := fieldParams()
+	f := func(a1Raw, a2Raw uint16) bool {
+		a1 := float64(a1Raw) / math.MaxUint16 * 2000
+		a2 := float64(a2Raw) / math.MaxUint16 * 2000
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		return RadiusAt(p, 500, 1800, a1) >= RadiusAt(p, 500, 1800, a2)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadiusAtStableThenSharpDrop(t *testing.T) {
+	// The paper: R_t ≈ R for most of the lifetime, then drops drastically
+	// near t = D.
+	p := fieldParams()
+	const r, d = 500.0, 1800.0
+	if rt := RadiusAt(p, r, d, d/2); rt < 0.95*r {
+		t.Errorf("R at half-life = %v, want ≥ 0.95 R", rt)
+	}
+	if rt := RadiusAt(p, r, d, 0.95*d); rt > 0.5*r {
+		t.Errorf("R at 95%% life = %v, want ≤ 0.5 R", rt)
+	}
+}
+
+func TestForwardProbShape(t *testing.T) {
+	p := paperParams(0.9, 0.5)
+	const r, d = 10.0, 50.0
+	// Near the center P ≈ 1.
+	if got := ForwardProb(p, 0, r, d, 0); got < 0.65 {
+		t.Errorf("P(0) = %v, want high", got)
+	}
+	// Both branches meet at 1−α at the boundary.
+	rt := RadiusAt(p, r, d, 0)
+	inside := ForwardProb(p, rt, r, d, 0)
+	outside := ForwardProb(p, rt+1e-9, r, d, 0)
+	if math.Abs(inside-(1-0.9)) > 1e-6 {
+		t.Errorf("P(Rt) = %v, want %v", inside, 1-0.9)
+	}
+	if math.Abs(inside-outside) > 1e-6 {
+		t.Errorf("discontinuity at boundary: %v vs %v", inside, outside)
+	}
+	// Far outside P ≈ 0.
+	if got := ForwardProb(p, 3*r, r, d, 0); got > 0.02 {
+		t.Errorf("P(3R) = %v, want ≈0", got)
+	}
+	// Expired ad never forwards.
+	if got := ForwardProb(p, 1, r, d, d+1); got != 0 {
+		t.Errorf("P after expiry = %v", got)
+	}
+}
+
+func TestForwardProbMonotoneInDistanceProperty(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.5, 0.9} {
+		p := fieldParams()
+		p.Alpha = alpha
+		f := func(d1Raw, d2Raw uint16) bool {
+			d1 := float64(d1Raw) / math.MaxUint16 * 1500
+			d2 := float64(d2Raw) / math.MaxUint16 * 1500
+			if d1 > d2 {
+				d1, d2 = d2, d1
+			}
+			return ForwardProb(p, d1, 500, 1800, 100) >= ForwardProb(p, d2, 500, 1800, 100)-1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("alpha=%v: %v", alpha, err)
+		}
+	}
+}
+
+func TestForwardProbInUnitIntervalProperty(t *testing.T) {
+	f := func(aRaw uint8, distRaw, ageRaw uint16) bool {
+		alpha := 0.05 + float64(aRaw)/255*0.9
+		p := fieldParams()
+		p.Alpha = alpha
+		dist := float64(distRaw) / math.MaxUint16 * 3000
+		age := float64(ageRaw) / math.MaxUint16 * 3000
+		v := ForwardProb(p, dist, 500, 1800, age)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHigherAlphaLowersProbability(t *testing.T) {
+	// "Intuitively, higher α leads to lower P."
+	p1 := fieldParams()
+	p1.Alpha = 0.1
+	p9 := fieldParams()
+	p9.Alpha = 0.9
+	for _, dist := range []float64{50, 250, 450, 490} {
+		lo := ForwardProb(p9, dist, 500, 1800, 100)
+		hi := ForwardProb(p1, dist, 500, 1800, 100)
+		if lo > hi {
+			t.Errorf("dist %v: P(α=0.9)=%v > P(α=0.1)=%v", dist, lo, hi)
+		}
+	}
+}
+
+func TestForwardProbOpt1Shape(t *testing.T) {
+	// Fig 5's illustration: R = 10, DIS = 3.
+	p := paperParams(0.9, 0.5)
+	const r, d, dis = 10.0, 50.0, 3.0
+	rt := RadiusAt(p, r, d, 0)
+	inner := rt - dis
+	// Annulus region matches Formula 1.
+	for _, dist := range []float64{inner, inner + 1, rt - 0.5, rt} {
+		got := ForwardProbOpt1(p, dist, r, d, 0, dis)
+		want := ForwardProb(p, dist, r, d, 0)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("annulus dist %v: opt1=%v, formula1=%v", dist, got, want)
+		}
+	}
+	// Outside matches Formula 1 too.
+	got := ForwardProbOpt1(p, rt+2, r, d, 0, dis)
+	want := ForwardProb(p, rt+2, r, d, 0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("outside: opt1=%v, formula1=%v", got, want)
+	}
+	// Continuity at the inner boundary.
+	in := ForwardProbOpt1(p, inner-1e-9, r, d, 0, dis)
+	at := ForwardProbOpt1(p, inner, r, d, 0, dis)
+	if math.Abs(in-at) > 1e-6 {
+		t.Errorf("discontinuity at inner boundary: %v vs %v", in, at)
+	}
+	// Central damping: with the experiment's α=0.5 the probability at the
+	// center is far below the annulus ("only peers within the annular region
+	// are active in advertisement gossiping with high probability").
+	p5 := paperParams(0.5, 0.5)
+	center := ForwardProbOpt1(p5, 0, r, d, 0, dis)
+	annulus := ForwardProbOpt1(p5, rt-dis/2, r, d, 0, dis)
+	if center >= annulus/5 {
+		t.Errorf("center %v not damped versus annulus %v", center, annulus)
+	}
+	// Expired: zero.
+	if v := ForwardProbOpt1(p, 1, r, d, d+1, dis); v != 0 {
+		t.Errorf("opt1 after expiry = %v", v)
+	}
+}
+
+func TestForwardProbOpt1DegeneratesToPure(t *testing.T) {
+	// "The model restores to pure gossiping model gradually with DIS rising
+	// close to R."
+	p := fieldParams()
+	for _, dist := range []float64{0, 100, 300, 499, 600} {
+		got := ForwardProbOpt1(p, dist, 500, 1800, 100, 600)
+		want := ForwardProb(p, dist, 500, 1800, 100)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("DIS≥Rt at dist %v: %v vs %v", dist, got, want)
+		}
+	}
+}
+
+func TestForwardProbOpt1InUnitIntervalProperty(t *testing.T) {
+	f := func(aRaw, disRaw uint8, distRaw uint16) bool {
+		p := fieldParams()
+		p.Alpha = 0.05 + float64(aRaw)/255*0.9
+		dis := 10 + float64(disRaw)/255*600
+		dist := float64(distRaw) / math.MaxUint16 * 2000
+		v := ForwardProbOpt1(p, dist, 500, 1800, 100, dis)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpt1ReducesExpectedMessages(t *testing.T) {
+	// Integrating P over the disk: Opt-1 must yield a strictly smaller mass
+	// than Formula 1 (fewer expected broadcasts per round).
+	p := fieldParams()
+	const r, d, dis = 500.0, 1800.0, 125.0
+	var pure, opt float64
+	for dist := 0.0; dist < r; dist += 5 {
+		ring := dist // ∝ circumference
+		pure += ForwardProb(p, dist, r, d, 100) * ring
+		opt += ForwardProbOpt1(p, dist, r, d, 100, dis) * ring
+	}
+	if opt >= pure*0.8 {
+		t.Errorf("opt mass %v not well below pure mass %v", opt, pure)
+	}
+}
+
+func TestPostponeInterval(t *testing.T) {
+	const dt = 5.0
+	// p = 0 (or θ = π with any p): no exponent → interval = Δt.
+	if got := PostponeInterval(dt, 0, 0); math.Abs(got-dt) > 1e-9 {
+		t.Errorf("p=0: %v, want %v", got, dt)
+	}
+	if got := PostponeInterval(dt, 1, math.Pi); math.Abs(got-dt) > 1e-9 {
+		t.Errorf("θ=π: %v, want %v", got, dt)
+	}
+	// Maximum: p = 1, θ = 0 → Δt·e.
+	if got := PostponeInterval(dt, 1, 0); math.Abs(got-dt*math.E) > 1e-9 {
+		t.Errorf("max: %v, want %v", got, dt*math.E)
+	}
+	// Clamping out-of-range p.
+	if got := PostponeInterval(dt, -3, 0); math.Abs(got-dt) > 1e-9 {
+		t.Errorf("clamped low: %v", got)
+	}
+	if got := PostponeInterval(dt, 7, 0); math.Abs(got-dt*math.E) > 1e-9 {
+		t.Errorf("clamped high: %v", got)
+	}
+}
+
+func TestPostponeIntervalMonotoneProperty(t *testing.T) {
+	// Larger overlap and smaller angle postpone longer.
+	f := func(p1Raw, p2Raw, th1Raw, th2Raw uint8) bool {
+		p1 := float64(p1Raw) / 255
+		p2 := float64(p2Raw) / 255
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		th := float64(th1Raw) / 255 * math.Pi
+		if PostponeInterval(5, p1, th) > PostponeInterval(5, p2, th)+1e-9 {
+			return false
+		}
+		t1 := float64(th1Raw) / 255 * math.Pi
+		t2 := float64(th2Raw) / 255 * math.Pi
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		pp := float64(p2Raw) / 255
+		return PostponeInterval(5, pp, t1) >= PostponeInterval(5, pp, t2)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostponeIntervalBoundsProperty(t *testing.T) {
+	f := func(pRaw, thRaw uint8) bool {
+		v := PostponeInterval(5, float64(pRaw)/255, float64(thRaw)/255*math.Pi)
+		return v >= 5-1e-9 && v <= 5*math.E+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

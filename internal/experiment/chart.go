@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartMarkers are assigned to series in order.
+var chartMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the figure as an ASCII scatter/line chart, one marker per
+// series, with auto-scaled axes and a legend — enough to eyeball the shape
+// the paper plots without leaving the terminal. Width and height are the
+// plot-area dimensions in characters; values below 16×8 are clamped up.
+func (f Figure) Chart(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Sprintf("%s — %s\n(no data)\n", f.ID, f.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, marker byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row = height - 1 - row // invert: the top row is ymax
+		if col >= 0 && col < width && row >= 0 && row < height {
+			if grid[row][col] != ' ' && grid[row][col] != marker {
+				grid[row][col] = '?' // overlapping series
+			} else {
+				grid[row][col] = marker
+			}
+		}
+	}
+	for si, s := range f.Series {
+		m := chartMarkers[si%len(chartMarkers)]
+		for i := range s.X {
+			if i < len(s.Y) {
+				plot(s.X[i], s.Y[i], m)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	yLabelTop := fmt.Sprintf("%.4g", ymax)
+	yLabelBot := fmt.Sprintf("%.4g", ymin)
+	pad := len(yLabelTop)
+	if len(yLabelBot) > pad {
+		pad = len(yLabelBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.4g", xmax)),
+		fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	fmt.Fprintf(&b, "%s  (%s vs %s)\n", strings.Repeat(" ", pad), f.YLabel, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), chartMarkers[si%len(chartMarkers)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() Figure {
+	return Figure{
+		ID: "c", Title: "chart test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "up", X: []float64{0, 5, 10}, Y: []float64{0, 50, 100}},
+			{Label: "down", X: []float64{0, 5, 10}, Y: []float64{100, 50, 0}},
+		},
+	}
+}
+
+func TestChartContainsMarkersAndLegend(t *testing.T) {
+	out := chartFixture().Chart(40, 10)
+	for _, want := range []string{"c — chart test", "* up", "o down", "100", "0", "(y vs x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart has no plotted markers")
+	}
+}
+
+func TestChartGeometry(t *testing.T) {
+	out := chartFixture().Chart(40, 10)
+	lines := strings.Split(out, "\n")
+	// Rising series: '*' appears in the top row at the right edge and the
+	// bottom row at the left edge.
+	var top, bottom string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			if top == "" {
+				top = l
+			}
+			bottom = l
+		}
+	}
+	if !strings.Contains(top, "*") && !strings.Contains(top, "?") {
+		t.Errorf("top row lacks the rising series: %q", top)
+	}
+	if !strings.Contains(bottom, "*") && !strings.Contains(bottom, "?") {
+		t.Errorf("bottom row lacks the rising series: %q", bottom)
+	}
+}
+
+func TestChartOverlapMark(t *testing.T) {
+	f := Figure{
+		ID: "o", Title: "overlap", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+			{Label: "b", X: []float64{0, 1}, Y: []float64{0, 1}},
+		},
+	}
+	out := f.Chart(20, 8)
+	if !strings.Contains(out, "?") {
+		t.Errorf("identical series should collide into '?':\n%s", out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	empty := Figure{ID: "e", Title: "empty"}
+	if out := empty.Chart(30, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	// A single point (degenerate ranges) must not panic or divide by zero.
+	single := Figure{
+		ID: "s", Title: "single", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "p", X: []float64{5}, Y: []float64{7}}},
+	}
+	out := single.Chart(30, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := chartFixture().Chart(1, 1)
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("tiny dimensions not clamped up")
+	}
+}
+
+func TestChartOnRealFigure(t *testing.T) {
+	out := Fig2().Chart(60, 15)
+	if !strings.Contains(out, "alpha=0.1") || !strings.Contains(out, "Forwarding Probability") {
+		t.Errorf("fig2 chart incomplete:\n%s", out)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	out := chartFixture().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,up,down" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	if lines[1] != "0,0,100" || lines[3] != "10,100,0" {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	// Sparse series leave empty cells.
+	sparse := Figure{
+		XLabel: "x",
+		Series: []Series{
+			{Label: "a", X: []float64{1}, Y: []float64{2}},
+			{Label: "b", X: []float64{3}, Y: []float64{4}},
+		},
+	}
+	got := strings.Split(strings.TrimSpace(sparse.CSV()), "\n")
+	if got[1] != "1,2," || got[2] != "3,,4" {
+		t.Errorf("sparse CSV wrong: %v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"instantad/internal/ads"
+	"instantad/internal/core"
+)
+
+// FieldMap renders an ASCII snapshot of the field at the current simulation
+// time: every peer is drawn at its position ('#' if it has ever received the
+// given ad, '.' otherwise), the ad's issuing location is 'O', and the
+// current advertising-area boundary R_t is traced with '+'. Call it from a
+// scheduled event mid-run to watch the ad's footprint, e.g.:
+//
+//	sim.Engine.Schedule(150, func() { fmt.Println(sim.FieldMap(h.Ad, 60)) })
+//
+// Width is the map width in characters; the height preserves the field's
+// aspect ratio (at half vertical resolution, since terminal cells are tall).
+func (sm *Sim) FieldMap(ad *ads.Advertisement, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	sc := sm.Scenario
+	height := int(float64(width) * sc.FieldH / sc.FieldW / 2)
+	if height < 10 {
+		height = 10
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCell := func(x, y float64) (col, row int) {
+		col = int(x / sc.FieldW * float64(width-1))
+		row = int(y / sc.FieldH * float64(height-1))
+		return
+	}
+	set := func(col, row int, ch byte) {
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = ch
+		}
+	}
+
+	now := sm.Engine.Now()
+	age := ad.Age(now)
+	rt := core.RadiusAt(sm.Net.Config().Params, ad.R, ad.D, age)
+
+	// Boundary first so peers draw over it.
+	if rt > 0 {
+		steps := 4 * (width + height)
+		for i := 0; i < steps; i++ {
+			theta := 2 * math.Pi * float64(i) / float64(steps)
+			x := ad.Origin.X + rt*math.Cos(theta)
+			y := ad.Origin.Y + rt*math.Sin(theta)
+			if x >= 0 && x < sc.FieldW && y >= 0 && y < sc.FieldH {
+				col, row := toCell(x, y)
+				set(col, row, '+')
+			}
+		}
+	}
+	holders := 0
+	for i := 0; i < sm.Net.NumPeers(); i++ {
+		p := sm.Net.Peer(i)
+		pos := p.Position()
+		col, row := toCell(pos.X, pos.Y)
+		if p.HasReceived(ad.ID) {
+			holders++
+			set(col, row, '#')
+		} else if grid[row][col] != '#' {
+			set(col, row, '.')
+		}
+	}
+	col, row := toCell(ad.Origin.X, ad.Origin.Y)
+	set(col, row, 'O')
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%.0fs  age=%.0fs  R_t=%.0fm  holders=%d/%d\n",
+		now, age, rt, holders, sm.Net.NumPeers())
+	border := "+" + strings.Repeat("-", width) + "+\n"
+	b.WriteString(border)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	b.WriteString("O issue location   + area boundary   # has the ad   . has not\n")
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"instantad/internal/core"
+	"instantad/internal/geo"
+)
+
+func TestFieldMapSnapshot(t *testing.T) {
+	sc := quickScenario()
+	sm, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sm.ScheduleAd(sc.IssueTime, geo.Point{X: 750, Y: 750}, core.AdSpec{
+		R: sc.R, D: sc.D, Category: "petrol",
+	})
+	var snapshot string
+	sm.Engine.Schedule(sc.IssueTime+60, func() { snapshot = sm.FieldMap(h.Ad, 60) })
+	sm.Engine.Run(sc.SimTime)
+	if h.Err != nil {
+		t.Fatal(h.Err)
+	}
+	for _, want := range []string{"O", "#", "+", "holders=", "R_t="} {
+		if !strings.Contains(snapshot, want) {
+			t.Errorf("map missing %q:\n%s", want, snapshot)
+		}
+	}
+	// Mid-life with R≈500 in a 1500 m field: a healthy share of peers hold
+	// the ad; the header must report a plausible count.
+	if !strings.Contains(snapshot, "age=60s") {
+		t.Errorf("header wrong:\n%s", strings.SplitN(snapshot, "\n", 2)[0])
+	}
+}
+
+func TestFieldMapAfterExpiry(t *testing.T) {
+	sc := quickScenario()
+	sm, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sm.ScheduleAd(sc.IssueTime, geo.Point{X: 750, Y: 750}, core.AdSpec{
+		R: sc.R, D: 30, Category: "petrol",
+	})
+	sm.Engine.Run(sc.SimTime)
+	out := sm.FieldMap(h.Ad, 40)
+	if strings.Contains(out, "+") && strings.Contains(out, "R_t=0m") == false {
+		t.Errorf("expired ad should have no boundary:\n%s", out)
+	}
+}
+
+func TestFieldMapClampsWidth(t *testing.T) {
+	sc := quickScenario()
+	sm, _ := sc.Build()
+	h := sm.ScheduleAd(sc.IssueTime, geo.Point{X: 750, Y: 750}, core.AdSpec{R: 100, D: 60})
+	sm.Engine.Run(sc.IssueTime + 1)
+	out := sm.FieldMap(h.Ad, 1)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("tiny width not clamped: %d lines", len(lines))
+	}
+}

@@ -1,0 +1,454 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks the sweeps so figure tests stay fast while preserving
+// the qualitative comparisons.
+func quickOpts() RunOpts {
+	base := DefaultScenario()
+	base.D = 120
+	base.SimTime = 300
+	return RunOpts{
+		Base:   base,
+		Reps:   1,
+		Sizes:  []int{100, 300},
+		Speeds: []float64{5, 20},
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	f := Fig2()
+	if f.ID != "fig2" || len(f.Series) != 5 {
+		t.Fatalf("fig2 has %d series", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			t.Fatalf("series %s malformed", s.Label)
+		}
+		// Monotone decreasing in distance.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Errorf("%s not monotone at %v", s.Label, s.X[i])
+			}
+		}
+		// High near center, near zero far outside.
+		if s.Y[0] < 0.6 {
+			t.Errorf("%s starts low: %v", s.Label, s.Y[0])
+		}
+		if last := s.Y[len(s.Y)-1]; last > 0.35 {
+			t.Errorf("%s tail too high: %v", s.Label, last)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	f := Fig3()
+	for _, s := range f.Series {
+		// Radius starts near R=10 and ends at 0 (age 50 = D).
+		if s.Y[0] < 9 {
+			t.Errorf("%s starts at %v, want ≈10", s.Label, s.Y[0])
+		}
+		if last := s.Y[len(s.Y)-1]; last != 0 {
+			t.Errorf("%s ends at %v, want 0", s.Label, last)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	f := Fig5()
+	if len(f.Series) != 2 {
+		t.Fatalf("fig5 series = %d", len(f.Series))
+	}
+	opt, pure := f.Series[0], f.Series[1]
+	// Central damping: opt-1 below formula-1 near the center.
+	if opt.Y[0] >= pure.Y[0]/5 {
+		t.Errorf("center: opt %v not damped vs pure %v", opt.Y[0], pure.Y[0])
+	}
+	// They agree in the annulus (distance 8…10) and outside.
+	for i, x := range opt.X {
+		if x >= 8 {
+			if math.Abs(opt.Y[i]-pure.Y[i]) > 1e-9 {
+				t.Errorf("at %v: opt %v ≠ pure %v", x, opt.Y[i], pure.Y[i])
+			}
+		}
+	}
+}
+
+func TestFig7QualitativeShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	a, _, c, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(f Figure, label string) Series {
+		for _, s := range f.Series {
+			if s.Label == label {
+				return s
+			}
+		}
+		t.Fatalf("series %q missing", label)
+		return Series{}
+	}
+	// Dense point (300): everyone delivers well.
+	for _, s := range a.Series {
+		if s.Y[1] < 85 {
+			t.Errorf("%s dense delivery %v < 85%%", s.Label, s.Y[1])
+		}
+	}
+	// Messages: Optimized ≤ 30% of Flooding and of pure Gossiping (dense).
+	flood := get(c, "Flooding").Y[1]
+	gossip := get(c, "Gossiping").Y[1]
+	optim := get(c, "Optimized Gossiping").Y[1]
+	if optim > 0.3*flood || optim > 0.3*gossip {
+		t.Errorf("optimized msgs %v not ≪ flooding %v / gossip %v", optim, flood, gossip)
+	}
+	// Sparse (100): gossiping delivery ≥ flooding delivery.
+	gd := get(a, "Gossiping").Y[0]
+	fd := get(a, "Flooding").Y[0]
+	if gd < fd-2 {
+		t.Errorf("sparse: gossip %v should not trail flooding %v", gd, fd)
+	}
+}
+
+func TestFig9ReductionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("fig9 series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		for i, y := range s.Y {
+			if y < -10 || y > 100 {
+				t.Errorf("%s reduction %v at %v out of range", s.Label, y, s.X[i])
+			}
+		}
+	}
+	// The combined mechanism reduces at least as much as the best single one
+	// (within noise) at the dense point.
+	var opt1, opt2, both float64
+	for _, s := range f.Series {
+		last := s.Y[len(s.Y)-1]
+		switch s.Label {
+		case "Optimized Gossiping-1":
+			opt1 = last
+		case "Optimized Gossiping-2":
+			opt2 = last
+		case "Optimized Gossiping":
+			both = last
+		}
+	}
+	if both+10 < math.Max(opt1, opt2) {
+		t.Errorf("combined reduction %v far below best single (%v, %v)", both, opt1, opt2)
+	}
+}
+
+func TestFig10aAlphaTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := quickOpts()
+	// Sweep fewer alphas for speed by reusing the full generator; base is
+	// small so this is cheap enough.
+	f, err := Fig10a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("fig10a series = %d", len(f.Series))
+	}
+	rate, msgs, pure := f.Series[0], f.Series[1], f.Series[2]
+	// The paper's declining-messages trend: the pure-gossiping reference
+	// drops as alpha grows (higher α → lower P → fewer frames).
+	first, last := pure.Y[0], pure.Y[len(pure.Y)-1]
+	if last >= first {
+		t.Errorf("gossiping messages did not drop with alpha: %v → %v", first, last)
+	}
+	// Optimized traffic stays well below the gossiping reference throughout.
+	for i := range msgs.Y {
+		if msgs.Y[i] > 0.5*pure.Y[i] {
+			t.Errorf("alpha=%v: optimized %v not below gossiping %v", msgs.X[i], msgs.Y[i], pure.Y[i])
+		}
+	}
+	// Delivery at small alpha is high.
+	if rate.Y[0] < 80 {
+		t.Errorf("delivery at alpha=0.1 is %v", rate.Y[0])
+	}
+}
+
+func TestFMAccuracyFigure(t *testing.T) {
+	f := FigFMAccuracy()
+	est, relErr := f.Series[0], f.Series[1]
+	for i, n := range est.X {
+		if est.Y[i] <= 0 {
+			t.Errorf("estimate at n=%v is %v", n, est.Y[i])
+		}
+		// Mean estimate within 3× the FM standard error band (0.78/√8 ≈ 28%)
+		// plus averaging slack.
+		if relErr.Y[i] > 60 {
+			t.Errorf("relative error at n=%v is %v%%", n, relErr.Y[i])
+		}
+	}
+}
+
+func TestRunOptsDefaults(t *testing.T) {
+	o := RunOpts{}.withDefaults()
+	if o.Base.NumPeers == 0 || o.Reps != 3 || len(o.Sizes) != 10 || len(o.Speeds) != 6 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o.Progress("no-op %d", 1) // must not panic
+}
+
+func TestFigureRenderEndToEnd(t *testing.T) {
+	out := Fig2().Render()
+	if !strings.Contains(out, "alpha=0.9") {
+		t.Error("rendered fig2 missing series")
+	}
+}
+
+func TestFigPopularityDynamics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := quickOpts()
+	o.Base.NumPeers = 200
+	f, err := FigPopularityDynamics(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	popRank := lastY(f.Series[0])
+	nicheRank := lastY(f.Series[1])
+	if popRank <= nicheRank {
+		t.Errorf("popular rank %v not above niche %v", popRank, nicheRank)
+	}
+	popR := lastY(f.Series[2])
+	nicheR := lastY(f.Series[3])
+	if popR <= nicheR {
+		t.Errorf("popular R %v not above niche %v", popR, nicheR)
+	}
+	// Ranks never exceed the population and R never exceeds its cap.
+	for _, s := range f.Series[:2] {
+		for _, y := range s.Y {
+			if y < 0 || y > float64(o.Base.NumPeers)*3 {
+				t.Errorf("%s rank %v implausible", s.Label, y)
+			}
+		}
+	}
+	for _, s := range f.Series[2:] {
+		for _, y := range s.Y {
+			if y > 2*o.Base.R+1 {
+				t.Errorf("%s radius %v above cap", s.Label, y)
+			}
+		}
+	}
+}
+
+func TestFigSpreadCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := FigSpreadCurve(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Y) < 10 {
+			t.Fatalf("%s has only %d samples", s.Label, len(s.Y))
+		}
+		// Penetration is monotone non-decreasing and bounded.
+		for i := range s.Y {
+			if s.Y[i] < 0 || s.Y[i] > 100 {
+				t.Fatalf("%s out of range at %v: %v", s.Label, s.X[i], s.Y[i])
+			}
+			if i > 0 && s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s penetration decreased at %v", s.Label, s.X[i])
+			}
+		}
+		// By the end of the life cycle everyone nearby has heard it: the
+		// final penetration should be meaningfully above the start.
+		if lastY(s) <= s.Y[0] {
+			t.Errorf("%s never spread: %v → %v", s.Label, s.Y[0], lastY(s))
+		}
+	}
+}
+
+func TestSensitivityTornado(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := quickOpts()
+	rep, err := Sensitivity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 7 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Sorted by message impact, descending.
+	for i := 1; i < len(rep.Rows); i++ {
+		if rep.Rows[i].MessagesDelta > rep.Rows[i-1].MessagesDelta {
+			t.Error("rows not sorted by message impact")
+		}
+	}
+	// The paper's own findings: round time matters a lot for messages; beta
+	// is among the least sensitive knobs.
+	rank := func(knob string) int {
+		for i, r := range rep.Rows {
+			if r.Knob == knob {
+				return i
+			}
+		}
+		t.Fatalf("knob %q missing", knob)
+		return -1
+	}
+	if rank("round-time") > rank("beta") {
+		t.Errorf("round-time (rank %d) should out-impact beta (rank %d)",
+			rank("round-time"), rank("beta"))
+	}
+	if out := rep.Render(); !strings.Contains(out, "round-time") || !strings.Contains(out, "Δmsgs") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFigComparator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := FigComparator(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	byLabel := make(map[string]Series)
+	for _, s := range f.Series {
+		byLabel[s.Label] = s
+	}
+	optMsgs := byLabel["Optimized Gossiping messages"]
+	relMsgs := byLabel["Relevance Exchange messages"]
+	// The comparator's traffic exceeds Optimized Gossiping's at every size
+	// and grows faster with density.
+	for i := range optMsgs.Y {
+		if relMsgs.Y[i] <= optMsgs.Y[i] {
+			t.Errorf("at N=%v: relevance msgs %v not above optimized %v",
+				optMsgs.X[i], relMsgs.Y[i], optMsgs.Y[i])
+		}
+	}
+	last := len(optMsgs.Y) - 1
+	if relMsgs.Y[last]/relMsgs.Y[0] <= optMsgs.Y[last]/optMsgs.Y[0] {
+		t.Error("relevance traffic did not grow faster with density")
+	}
+}
+
+func TestFig10bRoundTimeTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := Fig10b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, msgs := f.Series[0], f.Series[1]
+	// Messages fall monotonically as the round time grows.
+	for i := 1; i < len(msgs.Y); i++ {
+		if msgs.Y[i] >= msgs.Y[i-1] {
+			t.Errorf("messages did not fall: Δt=%v→%v gives %v→%v",
+				msgs.X[i-1], msgs.X[i], msgs.Y[i-1], msgs.Y[i])
+		}
+	}
+	// Delivery at the fastest rounds is at least as good as at the slowest.
+	if rate.Y[0] < rate.Y[len(rate.Y)-1]-2 {
+		t.Errorf("delivery at Δt=%v (%v) below Δt=%v (%v)",
+			rate.X[0], rate.Y[0], rate.X[len(rate.X)-1], rate.Y[len(rate.Y)-1])
+	}
+}
+
+func TestFig10cDISKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := Fig10c(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, msgs := f.Series[0], f.Series[1]
+	// Messages grow with DIS (larger high-probability region).
+	first, last := msgs.Y[0], msgs.Y[len(msgs.Y)-1]
+	if last <= first {
+		t.Errorf("messages did not grow with DIS: %v → %v", first, last)
+	}
+	// Delivery at the paper's chosen DIS=125 is within noise of the best.
+	var at125, best float64
+	for i, x := range rate.X {
+		if x == 125 {
+			at125 = rate.Y[i]
+		}
+		if rate.Y[i] > best {
+			best = rate.Y[i]
+		}
+	}
+	if at125 < best-3 {
+		t.Errorf("delivery at DIS=125 (%v) more than 3pt below best (%v)", at125, best)
+	}
+}
+
+func TestFigBetaSensitivitySecondOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := FigBetaSensitivity(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := f.Series[0]
+	// Delivery varies by only a few points across the whole β range.
+	lo, hi := rate.Y[0], rate.Y[0]
+	for _, y := range rate.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi-lo > 10 {
+		t.Errorf("beta moved delivery by %v points — not second-order", hi-lo)
+	}
+}
+
+func TestFig8SpeedEffects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	_, b, _, err := Fig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimized Gossiping's delivery time falls as speed rises (faster
+	// carriers spread copies).
+	for _, s := range b.Series {
+		if s.Label != "Optimized Gossiping" {
+			continue
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("delivery time did not fall with speed: %v → %v", s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestRunMultiAdBasics(t *testing.T) {
+	sc := quickScenario()
+	sum, err := RunMultiAd(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NumAds != 4 {
+		t.Errorf("NumAds = %d", sum.NumAds)
+	}
+	if sum.MeanDeliveryRate <= 0 || sum.MeanDeliveryRate > 100 {
+		t.Errorf("mean delivery %v out of range", sum.MeanDeliveryRate)
+	}
+	if sum.MinDeliveryRate > sum.MeanDeliveryRate {
+		t.Errorf("min %v above mean %v", sum.MinDeliveryRate, sum.MeanDeliveryRate)
+	}
+	if sum.TotalMessages == 0 {
+		t.Error("no messages")
+	}
+}
+
+func TestRunMultiAdValidation(t *testing.T) {
+	if _, err := RunMultiAd(quickScenario(), 0); err == nil {
+		t.Error("numAds=0 accepted")
+	}
+	bad := quickScenario()
+	bad.NumPeers = 0
+	if _, err := RunMultiAd(bad, 2); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestMultiAdContentionEvictsWithTinyCache(t *testing.T) {
+	// With k=1 and several overlapping ads, eviction must fire; with a large
+	// cache it must not.
+	sc := quickScenario()
+	sc.NumPeers = 150
+	sc.CacheK = 1
+	tight, err := RunMultiAd(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Evictions == 0 {
+		t.Error("k=1 with 5 overlapping ads produced no evictions")
+	}
+	sc.CacheK = 50
+	roomy, err := RunMultiAd(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.Evictions != 0 {
+		t.Errorf("k=50 evicted %d times with only 5 ads", roomy.Evictions)
+	}
+	// The paper's eviction rule degrades delivery gracefully: the tight
+	// cache should still deliver most ads.
+	if tight.MeanDeliveryRate < roomy.MeanDeliveryRate-25 {
+		t.Errorf("tight cache collapsed: %v vs %v", tight.MeanDeliveryRate, roomy.MeanDeliveryRate)
+	}
+}
+
+func TestFigAdContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := quickOpts()
+	f, err := FigAdContention(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(f.Series))
+	}
+	// k=10 evictions stay below k=2 evictions at the heaviest point.
+	var evictK2, evictK10 float64
+	for _, s := range f.Series {
+		switch s.Label {
+		case "evictions k=2":
+			evictK2 = s.Y[len(s.Y)-1]
+		case "evictions k=10":
+			evictK10 = s.Y[len(s.Y)-1]
+		}
+	}
+	if evictK2 <= evictK10 {
+		t.Errorf("k=2 evictions (%v) not above k=10 (%v)", evictK2, evictK10)
+	}
+}

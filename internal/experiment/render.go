@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a reproduced plot: an identifier tying it back to the paper, the
+// axes, and one series per protocol/parameter setting.
+type Figure struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render lays the figure out as an aligned text table: one row per X value,
+// one column per series — the same rows the paper plots.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%s vs %s\n", f.YLabel, f.XLabel)
+
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// Index each series by X.
+	type lookup map[float64]float64
+	byX := make([]lookup, len(f.Series))
+	for i, s := range f.Series {
+		m := make(lookup, len(s.X))
+		for j, x := range s.X {
+			if j < len(s.Y) {
+				m[x] = s.Y[j]
+			}
+		}
+		byX[i] = m
+	}
+
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for i := range f.Series {
+			if y, ok := byX[i][x]; ok {
+				row = append(row, fmt.Sprintf("%.2f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// trimFloat prints integers without a decimal point and other values with
+// up to two decimals.
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.2f", x)
+}
+
+// CSV renders the figure as RFC-4180 CSV: a header row with the X label and
+// one column per series, then one row per X value (union across series,
+// first-seen order; missing points are empty cells). Full float precision is
+// preserved for downstream plotting tools.
+func (f Figure) CSV() string {
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	byX := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		m := make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
+			if j < len(s.Y) {
+				m[x] = s.Y[j]
+			}
+		}
+		byX[i] = m
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	_ = w.Write(header)
+	for _, x := range xs {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for i := range f.Series {
+			if y, ok := byX[i][x]; ok {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}

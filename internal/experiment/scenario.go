@@ -1,0 +1,582 @@
+// Package experiment is the harness that reproduces the paper's evaluation:
+// it assembles simulator, mobility, radio, protocol and metrics into a
+// runnable Scenario, replicates runs across seeds, and regenerates every
+// figure of Section IV as printable series (see figures.go).
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"instantad/internal/ads"
+	"instantad/internal/core"
+	"instantad/internal/geo"
+	"instantad/internal/metrics"
+	"instantad/internal/mobility"
+	"instantad/internal/radio"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+	"instantad/internal/stats"
+	"instantad/internal/trace"
+)
+
+// MobilityKind selects the movement model for a scenario.
+type MobilityKind string
+
+const (
+	// RandomWaypoint is the paper's model (NS-2 setdest).
+	RandomWaypoint MobilityKind = "random-waypoint"
+	// RandomWalk is the bounded random-walk ablation model.
+	RandomWalk MobilityKind = "random-walk"
+	// Manhattan is the street-grid ablation model.
+	Manhattan MobilityKind = "manhattan"
+	// RPGM is Reference Point Group Mobility: peers move in cohesive groups
+	// whose reference points do Random Waypoint (GroupSize 4, radius 50 m).
+	RPGM MobilityKind = "rpgm"
+)
+
+// Scenario fully describes one simulation run. The zero value is not
+// runnable; start from DefaultScenario.
+type Scenario struct {
+	Name string
+
+	// Field and population.
+	FieldW, FieldH float64
+	NumPeers       int
+	Mobility       MobilityKind
+	SpeedMean      float64 // m/s
+	SpeedDelta     float64 // leg speed uniform in mean±delta
+	Pause          float64 // random-waypoint pause, s
+	BlockSize      float64 // manhattan street spacing, m
+	// TraceFile, when set, loads peer trajectories from an NS-2 movement
+	// script (setdest format) instead of generating them; nodes 0…NumPeers−1
+	// must be present. Mobility/speed parameters are then ignored.
+	TraceFile string
+	// PedestrianFraction turns that share of the population into pedestrians:
+	// Random Waypoint at walking speed (PedestrianSpeed ± 30 %) carrying a
+	// short-range handset (PedestrianRange) — the paper's mixed
+	// vehicles-and-pedestrians street scene. Zero keeps a uniform fleet.
+	PedestrianFraction float64
+	// PedestrianSpeed is the pedestrians' mean speed, m/s (default 1.4).
+	PedestrianSpeed float64
+	// PedestrianRange is the handset transmission range, m (default 50).
+	PedestrianRange float64
+
+	// Radio.
+	TxRange  float64
+	LossRate float64
+	// FadeZone softens the unit disk's edge over its last FadeZone meters
+	// (see radio.Config.FadeZone); zero keeps the hard disk.
+	FadeZone   float64
+	Collisions bool
+	// MeasureEnergy enables radio energy accounting with the 802.11-class
+	// defaults (radio.DefaultEnergy); Result.EnergyJ reports the total.
+	MeasureEnergy bool
+
+	// Protocol.
+	Protocol core.Protocol
+	Alpha    float64
+	Beta     float64
+	// DistUnit and TimeUnit override the probability-exponent unit scaling;
+	// zero selects the paper-faithful per-ad defaults R/10 and D/10 (see
+	// core.ProbParams and the unit-scaling ablation in DESIGN.md).
+	DistUnit  float64
+	TimeUnit  float64
+	RoundTime float64
+	DIS       float64 // annulus width (meters); ≤0 means R/4
+	CacheK    int
+	// Eviction selects the cache-overflow rule; default is the paper's
+	// lowest-probability eviction.
+	Eviction   core.EvictionPolicy
+	Popularity core.PopularityConfig
+
+	// The advertisement under evaluation.
+	R         float64 // initial advertising radius
+	D         float64 // initial duration
+	Category  string
+	IssueTime float64   // when the ad is injected
+	IssueAt   geo.Point // desired issuing location; zero means field center
+
+	// IssuerOfflineAfter, when positive, powers the issuer's radio down that
+	// many seconds after it issues the ad — the paper's "issue an
+	// advertisement to neighbor peers and then go off-line". Gossip variants
+	// keep the ad alive cooperatively; Restricted Flooding dies with its
+	// issuer.
+	IssuerOfflineAfter float64
+	// ChurnOffMean/ChurnOnMean, when both positive, give every peer an
+	// alternating on/off radio cycle with exponentially distributed
+	// durations (mean seconds online, then mean seconds offline, repeating).
+	ChurnOnMean  float64
+	ChurnOffMean float64
+
+	// Run control.
+	SimTime     float64
+	SampleEvery float64
+	Seed        uint64
+}
+
+// DefaultScenario returns the canonical parameters of Table II/III as
+// calibrated in DESIGN.md: a 1500 m × 1500 m field, 300 peers at 10±5 m/s,
+// 125 m transmission range, R₀ = 500 m, D₀ = 180 s, Δt = 5 s,
+// α = β = 0.5, DIS = R/4, cache k = 10, 2000 s simulation with the ad
+// issued at the field center at t = 60 s.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Name:        "canonical",
+		FieldW:      1500,
+		FieldH:      1500,
+		NumPeers:    300,
+		Mobility:    RandomWaypoint,
+		SpeedMean:   10,
+		SpeedDelta:  5,
+		Pause:       10,
+		BlockSize:   150,
+		TxRange:     125,
+		Protocol:    core.GossipOpt,
+		Alpha:       0.5,
+		Beta:        0.5,
+		RoundTime:   5,
+		DIS:         0, // R/4
+		CacheK:      10,
+		R:           500,
+		D:           180,
+		Category:    "petrol",
+		IssueTime:   60,
+		SimTime:     2000,
+		SampleEvery: 1,
+		Seed:        1,
+	}
+}
+
+// dis resolves the annulus width: explicit, or the paper's R/4 default.
+func (sc Scenario) dis() float64 {
+	if sc.DIS > 0 {
+		return sc.DIS
+	}
+	return sc.R / 4
+}
+
+// issueAt resolves the issuing location (field center by default).
+func (sc Scenario) issueAt() geo.Point {
+	if sc.IssueAt != (geo.Point{}) {
+		return sc.IssueAt
+	}
+	return geo.Point{X: sc.FieldW / 2, Y: sc.FieldH / 2}
+}
+
+// Validate checks the scenario parameters.
+func (sc Scenario) Validate() error {
+	if sc.FieldW <= 0 || sc.FieldH <= 0 {
+		return fmt.Errorf("experiment: empty field %vx%v", sc.FieldW, sc.FieldH)
+	}
+	if sc.NumPeers < 1 {
+		return fmt.Errorf("experiment: %d peers", sc.NumPeers)
+	}
+	if sc.SimTime <= sc.IssueTime {
+		return fmt.Errorf("experiment: sim time %v not beyond issue time %v", sc.SimTime, sc.IssueTime)
+	}
+	if sc.R <= 0 || sc.D <= 0 {
+		return fmt.Errorf("experiment: bad ad parameters R=%v D=%v", sc.R, sc.D)
+	}
+	switch sc.Mobility {
+	case RandomWaypoint, RandomWalk, Manhattan, RPGM:
+	default:
+		return fmt.Errorf("experiment: unknown mobility %q", sc.Mobility)
+	}
+	if sc.PedestrianFraction < 0 || sc.PedestrianFraction > 1 {
+		return fmt.Errorf("experiment: pedestrian fraction %v outside [0,1]", sc.PedestrianFraction)
+	}
+	if sc.IssuerOfflineAfter < 0 {
+		return fmt.Errorf("experiment: negative issuer-offline delay %v", sc.IssuerOfflineAfter)
+	}
+	if (sc.ChurnOnMean > 0) != (sc.ChurnOffMean > 0) {
+		return fmt.Errorf("experiment: churn needs both on and off means")
+	}
+	if sc.ChurnOnMean < 0 || sc.ChurnOffMean < 0 {
+		return fmt.Errorf("experiment: negative churn mean")
+	}
+	return nil
+}
+
+// pedestrianSpeed resolves the mixed-fleet walking speed default.
+func (sc Scenario) pedestrianSpeed() float64 {
+	if sc.PedestrianSpeed > 0 {
+		return sc.PedestrianSpeed
+	}
+	return 1.4
+}
+
+// pedestrianRange resolves the mixed-fleet handset range default.
+func (sc Scenario) pedestrianRange() float64 {
+	if sc.PedestrianRange > 0 {
+		return sc.PedestrianRange
+	}
+	return 50
+}
+
+// pedestrianFlags deterministically marks which peers are pedestrians.
+func (sc Scenario) pedestrianFlags(rnd *rng.Stream) []bool {
+	flags := make([]bool, sc.NumPeers)
+	if sc.PedestrianFraction <= 0 {
+		return flags
+	}
+	for i := range flags {
+		flags[i] = rnd.Bool(sc.PedestrianFraction)
+	}
+	return flags
+}
+
+// coreConfig assembles the protocol configuration.
+func (sc Scenario) coreConfig() core.Config {
+	return core.Config{
+		Protocol:   sc.Protocol,
+		Params:     core.ProbParams{Alpha: sc.Alpha, Beta: sc.Beta, DistUnit: sc.DistUnit, TimeUnit: sc.TimeUnit},
+		RoundTime:  sc.RoundTime,
+		DIS:        sc.dis(),
+		CacheK:     sc.CacheK,
+		Eviction:   sc.Eviction,
+		Popularity: sc.Popularity,
+	}
+}
+
+// radioConfig assembles the channel configuration.
+func (sc Scenario) radioConfig() radio.Config {
+	cfg := radio.DefaultConfig()
+	cfg.Range = sc.TxRange
+	cfg.LossRate = sc.LossRate
+	cfg.FadeZone = sc.FadeZone
+	cfg.Collisions = sc.Collisions
+	if sc.MeasureEnergy {
+		cfg.Energy = radio.DefaultEnergy()
+	}
+	cfg.MaxSpeed = sc.SpeedMean + sc.SpeedDelta
+	return cfg
+}
+
+// buildModels constructs one mobility model per peer, either from an NS-2
+// movement script or by generating trajectories. Peers flagged as
+// pedestrians walk (Random Waypoint at walking speed) regardless of the
+// vehicular mobility model.
+func (sc Scenario) buildModels(rnd *rng.Stream, peds []bool) ([]mobility.Model, error) {
+	if sc.TraceFile != "" {
+		return sc.loadTraceModels()
+	}
+	field := geo.NewRect(sc.FieldW, sc.FieldH)
+	if sc.Mobility == RPGM {
+		// Group mobility correlates positions across peers, so it is built
+		// population-wide rather than per peer. Pedestrian flags do not
+		// apply: the group dynamic already models on-foot clusters.
+		return mobility.NewRPGMPopulation(sc.NumPeers, mobility.RPGMConfig{
+			Field:       field,
+			GroupSize:   4,
+			GroupRadius: 50,
+			SpeedMean:   sc.SpeedMean,
+			SpeedDelta:  sc.SpeedDelta,
+			MemberSpeed: 1.5,
+			Pause:       sc.Pause,
+			Horizon:     sc.SimTime,
+		}, rnd.Split("rpgm"))
+	}
+	models := make([]mobility.Model, sc.NumPeers)
+	for i := range models {
+		s := rnd.SplitIndex("mobility", i)
+		var (
+			m   mobility.Model
+			err error
+		)
+		if peds != nil && peds[i] {
+			walk := sc.pedestrianSpeed()
+			m, err = mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+				Field: field, SpeedMean: walk, SpeedDelta: 0.3 * walk,
+				Pause: sc.Pause, Horizon: sc.SimTime,
+			}, s)
+			if err != nil {
+				return nil, err
+			}
+			models[i] = m
+			continue
+		}
+		switch sc.Mobility {
+		case RandomWaypoint:
+			m, err = mobility.NewRandomWaypoint(mobility.RandomWaypointConfig{
+				Field: field, SpeedMean: sc.SpeedMean, SpeedDelta: sc.SpeedDelta,
+				Pause: sc.Pause, Horizon: sc.SimTime,
+			}, s)
+		case RandomWalk:
+			m, err = mobility.NewRandomWalk(mobility.RandomWalkConfig{
+				Field: field, SpeedMean: sc.SpeedMean, SpeedDelta: sc.SpeedDelta,
+				Epoch: 30, Horizon: sc.SimTime,
+			}, s)
+		case Manhattan:
+			m, err = mobility.NewManhattan(mobility.ManhattanConfig{
+				Field: field, BlockSize: sc.BlockSize,
+				SpeedMean: sc.SpeedMean, SpeedDelta: sc.SpeedDelta, Horizon: sc.SimTime,
+			}, s)
+		}
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return models, nil
+}
+
+// loadTraceModels reads the scenario's NS-2 movement script.
+func (sc Scenario) loadTraceModels() ([]mobility.Model, error) {
+	f, err := os.Open(sc.TraceFile)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: trace file: %w", err)
+	}
+	defer f.Close()
+	byID, err := mobility.ParseNS2(f)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]mobility.Model, sc.NumPeers)
+	for i := range models {
+		m, ok := byID[i]
+		if !ok {
+			return nil, fmt.Errorf("experiment: trace %s has no node %d (need 0..%d)",
+				sc.TraceFile, i, sc.NumPeers-1)
+		}
+		models[i] = m
+	}
+	return models, nil
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario     Scenario
+	Report       metrics.AdReport
+	DeliveryRate float64 // percent
+	DeliveryTime float64 // mean seconds over delivered entrants
+	Messages     float64 // network-wide ad frames during the life cycle
+	Bytes        float64
+	EnergyJ      float64 // radio energy spent, joules (0 unless MeasureEnergy)
+	Utilization  float64 // network-wide airtime / sim time (congestion proxy)
+	LoadGini     float64 // inequality of per-peer transmission counts, [0,1)
+	Duplicates   uint64
+	Evictions    uint64
+}
+
+// Sim is a fully assembled simulation: engine, network and metrics, built
+// from a Scenario but not yet run and with no advertisement injected. It is
+// the building block for multi-ad and interactive workloads; Scenario.Run is
+// the single-ad convenience on top of it.
+type Sim struct {
+	Scenario Scenario
+	Engine   *sim.Simulator
+	Net      *core.Network
+	Metrics  *metrics.Collector
+
+	rnd *rng.Stream
+}
+
+// Build assembles the simulation for this scenario: mobility models, radio
+// channel, protocol network and metrics collector, all seeded from
+// Scenario.Seed. Gossip schedulers are started; the caller schedules ads
+// (ScheduleAd) and then drives Engine.Run.
+func (sc Scenario) Build() (*Sim, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rnd := rng.New(sc.Seed)
+	peds := sc.pedestrianFlags(rnd.Split("devices"))
+	models, err := sc.buildModels(rnd.Split("models"), peds)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	net, err := core.New(s, sc.radioConfig(), models, sc.coreConfig(), rnd.Split("protocol"))
+	if err != nil {
+		return nil, err
+	}
+	if sc.PedestrianFraction > 0 {
+		for i, isPed := range peds {
+			if isPed {
+				if err := net.Channel().SetNodeRange(i, sc.pedestrianRange()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	col := metrics.NewCollector(s, net.Channel(), net.Config().Params, sc.SampleEvery)
+	net.SetObserver(col)
+	net.Start()
+	if sc.ChurnOnMean > 0 {
+		armChurn(s, net, sc, rnd.Split("churn"))
+	}
+	return &Sim{Scenario: sc, Engine: s, Net: net, Metrics: col, rnd: rnd}, nil
+}
+
+// armChurn gives every peer an alternating exponential on/off radio cycle.
+func armChurn(s *sim.Simulator, net *core.Network, sc Scenario, rnd *rng.Stream) {
+	for i := 0; i < net.NumPeers(); i++ {
+		i := i
+		r := rnd.SplitIndex("peer", i)
+		var flip func(online bool)
+		flip = func(online bool) {
+			mean := sc.ChurnOnMean
+			if !online {
+				mean = sc.ChurnOffMean
+			}
+			s.After(r.Exp(1/mean), func() {
+				_ = net.SetPeerOnline(i, !online)
+				flip(!online)
+			})
+		}
+		flip(true)
+	}
+}
+
+// Rand returns a stream derived from the scenario seed for workload
+// randomness (interest assignment, ad arrival processes) so whole workloads
+// stay reproducible.
+func (sm *Sim) Rand(label string) *rng.Stream { return sm.rnd.Split(label) }
+
+// Trace attaches a JSONL event recorder writing to w, chained after the
+// metrics collector. Call before the simulation runs; flush the returned
+// recorder after Engine.Run.
+func (sm *Sim) Trace(w io.Writer) *trace.Recorder {
+	rec := trace.NewRecorder(w, sm.Net.Channel())
+	sm.Net.SetObserver(core.MultiObserver(sm.Metrics, rec))
+	return rec
+}
+
+// ScheduleAd arranges for the peer nearest to `at` (at issue time) to issue
+// the given ad at time t. The returned handle carries the issued ad — or the
+// issue error — once the simulation passes t.
+func (sm *Sim) ScheduleAd(t float64, at geo.Point, spec core.AdSpec) *AdHandle {
+	h := &AdHandle{}
+	sm.Engine.Schedule(t, func() {
+		issuer := nearestPeer(sm.Net, at)
+		h.Ad, h.Err = sm.Net.IssueAd(issuer, spec)
+	})
+	return h
+}
+
+// AdHandle carries the outcome of a scheduled ad issue.
+type AdHandle struct {
+	Ad  *ads.Advertisement
+	Err error
+}
+
+// Run executes the scenario once and reports the paper's metrics for its
+// single advertisement.
+func (sc Scenario) Run() (Result, error) {
+	sm, err := sc.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	h := sm.ScheduleAd(sc.IssueTime, sc.issueAt(), core.AdSpec{
+		R: sc.R, D: sc.D, Category: sc.Category,
+		Text: "scenario advertisement",
+	})
+	if sc.IssuerOfflineAfter > 0 {
+		sm.Engine.Schedule(sc.IssueTime+sc.IssuerOfflineAfter, func() {
+			if h.Ad != nil {
+				_ = sm.Net.SetPeerOnline(int(h.Ad.ID.Issuer), false)
+			}
+		})
+	}
+	sm.Engine.Run(sc.SimTime)
+	if h.Err != nil {
+		return Result{}, h.Err
+	}
+	if h.Ad == nil {
+		return Result{}, fmt.Errorf("experiment: ad was never issued")
+	}
+	rep, err := sm.Metrics.Report(h.Ad.ID)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Scenario:     sc,
+		Report:       rep,
+		DeliveryRate: rep.DeliveryRate,
+		DeliveryTime: rep.DeliveryTimes.Mean,
+		Messages:     float64(rep.Messages),
+		Bytes:        float64(rep.Bytes),
+		EnergyJ:      sm.Net.Channel().Energy().TotalJ,
+		Utilization:  sm.Net.Channel().Utilization(),
+		LoadGini:     sm.Metrics.LoadGini(),
+		Duplicates:   sm.Metrics.Duplicates(),
+		Evictions:    sm.Metrics.Evictions(),
+	}, nil
+}
+
+// nearestPeer returns the peer currently closest to p — the paper issues
+// from a fixed location, so the nearest device plays the shop employee.
+func nearestPeer(net *core.Network, p geo.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i := 0; i < net.NumPeers(); i++ {
+		if d := net.Peer(i).Position().Dist2(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Aggregate is the cross-seed summary of a replicated scenario.
+type Aggregate struct {
+	Scenario     Scenario
+	Reps         int
+	DeliveryRate stats.Summary
+	DeliveryTime stats.Summary
+	Messages     stats.Summary
+}
+
+// RunReplicated executes the scenario reps times with seeds Seed, Seed+1, …
+// and summarizes the three paper metrics. Replicas are independent
+// simulations, so they run on parallel workers; results are aggregated in
+// seed order, keeping the summary deterministic.
+func RunReplicated(sc Scenario, reps int) (Aggregate, error) {
+	if reps < 1 {
+		return Aggregate{}, fmt.Errorf("experiment: reps %d < 1", reps)
+	}
+	results := make([]Result, reps)
+	errs := make([]error, reps)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run := sc
+				run.Seed = sc.Seed + uint64(i)
+				results[i], errs[i] = run.Run()
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var rates, times, msgs []float64
+	for i := 0; i < reps; i++ {
+		if errs[i] != nil {
+			return Aggregate{}, fmt.Errorf("rep %d: %w", i, errs[i])
+		}
+		rates = append(rates, results[i].DeliveryRate)
+		times = append(times, results[i].DeliveryTime)
+		msgs = append(msgs, results[i].Messages)
+	}
+	return Aggregate{
+		Scenario:     sc,
+		Reps:         reps,
+		DeliveryRate: stats.Summarize(rates),
+		DeliveryTime: stats.Summarize(times),
+		Messages:     stats.Summarize(msgs),
+	}, nil
+}

@@ -1,0 +1,158 @@
+package fm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog distinct-count sketch — the modern successor of the
+// FM sketch the paper adopts. It is provided as an alternative rank
+// estimator for ablation: same duplicate-insensitive, mergeable semantics,
+// substantially better accuracy per bit (standard error ≈ 1.04/√m for m
+// registers of ~6 bits, versus FM's 0.78/√F for F whole bitmaps).
+//
+// The advertising protocol itself stays on FM sketches for paper fidelity;
+// see BenchmarkSketchComparison for the accuracy-per-byte comparison.
+type HLL struct {
+	p    uint8 // precision: m = 2^p registers
+	reg  []uint8
+	seed uint64
+}
+
+// NewHLL returns an empty HyperLogLog with 2^p registers. Precision p must
+// be in [4, 16]. Sketches must share a seed to be merged.
+func NewHLL(p int, seed uint64) *HLL {
+	if p < 4 || p > 16 {
+		panic(fmt.Sprintf("fm: HLL precision %d outside [4,16]", p))
+	}
+	return &HLL{p: uint8(p), reg: make([]uint8, 1<<p), seed: seed}
+}
+
+// M returns the register count.
+func (h *HLL) M() int { return len(h.reg) }
+
+// Seed returns the hash-family seed.
+func (h *HLL) Seed() uint64 { return h.seed }
+
+// Add records element id, reporting whether any register changed.
+func (h *HLL) Add(id uint64) bool {
+	x := splitmix64(id ^ splitmix64(h.seed))
+	idx := x >> (64 - h.p)
+	// Rank of the first set bit in the remaining stream, 1-based.
+	rest := x<<h.p | 1<<(h.p-1) // guard: ensures a set bit exists
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.reg[idx] {
+		h.reg[idx] = rank
+		return true
+	}
+	return false
+}
+
+// Estimate returns the approximate number of distinct elements added, with
+// the standard small-range (linear counting) correction.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.reg))
+	var sum float64
+	zeros := 0
+	for _, r := range h.reg {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := hllAlpha(len(h.reg))
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros)) // linear counting
+	}
+	return est
+}
+
+func hllAlpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// Rank returns the estimate rounded to an integer.
+func (h *HLL) Rank() int { return int(math.Round(h.Estimate())) }
+
+// Merge takes the register-wise maximum; afterwards h estimates the union.
+func (h *HLL) Merge(other *HLL) error {
+	if other == nil {
+		return errors.New("fm: merge with nil HLL")
+	}
+	if h.p != other.p || h.seed != other.seed {
+		return fmt.Errorf("fm: incompatible HLLs (p %d seed %d vs p %d seed %d)",
+			h.p, h.seed, other.p, other.seed)
+	}
+	for i := range h.reg {
+		if other.reg[i] > h.reg[i] {
+			h.reg[i] = other.reg[i]
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (h *HLL) Clone() *HLL {
+	c := NewHLL(int(h.p), h.seed)
+	copy(c.reg, h.reg)
+	return c
+}
+
+// Equal reports whether two HLLs have identical precision, seed and
+// registers.
+func (h *HLL) Equal(other *HLL) bool {
+	if other == nil || h.p != other.p || h.seed != other.seed {
+		return false
+	}
+	for i := range h.reg {
+		if h.reg[i] != other.reg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WireSize returns the serialized size: 1 precision byte, 8 seed bytes, and
+// one byte per register.
+func (h *HLL) WireSize() int { return 1 + 8 + len(h.reg) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *HLL) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, h.WireSize())
+	out = append(out, h.p)
+	out = binary.LittleEndian.AppendUint64(out, h.seed)
+	out = append(out, h.reg...)
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *HLL) UnmarshalBinary(data []byte) error {
+	if len(data) < 9 {
+		return errors.New("fm: HLL data too short")
+	}
+	p := data[0]
+	if p < 4 || p > 16 {
+		return fmt.Errorf("fm: invalid HLL precision %d", p)
+	}
+	want := 1 + 8 + (1 << p)
+	if len(data) != want {
+		return fmt.Errorf("fm: HLL data length %d, want %d", len(data), want)
+	}
+	h.p = p
+	h.seed = binary.LittleEndian.Uint64(data[1:9])
+	h.reg = append([]uint8(nil), data[9:]...)
+	return nil
+}

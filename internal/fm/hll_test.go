@@ -1,0 +1,190 @@
+package fm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHLLPrecisionValidation(t *testing.T) {
+	for _, p := range []int{3, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHLL(%d) did not panic", p)
+				}
+			}()
+			NewHLL(p, 1)
+		}()
+	}
+	h := NewHLL(10, 7)
+	if h.M() != 1024 || h.Seed() != 7 {
+		t.Errorf("M=%d Seed=%d", h.M(), h.Seed())
+	}
+}
+
+func TestHLLEmptyEstimatesZero(t *testing.T) {
+	if e := NewHLL(10, 1).Estimate(); e != 0 {
+		t.Errorf("empty estimate = %v", e)
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	// p=10 → m=1024 → standard error ≈ 3.25 %. Allow 4σ.
+	for _, n := range []int{100, 1000, 100000} {
+		h := NewHLL(10, 99)
+		for i := 0; i < n; i++ {
+			h.Add(uint64(i) * 0x9E3779B97F4A7C15)
+		}
+		est := h.Estimate()
+		rel := math.Abs(est-float64(n)) / float64(n)
+		if rel > 0.13 {
+			t.Errorf("n=%d: estimate %.1f, relative error %.3f", n, est, rel)
+		}
+	}
+}
+
+func TestHLLSmallRangeLinearCounting(t *testing.T) {
+	h := NewHLL(10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(uint64(i))
+	}
+	est := h.Estimate()
+	if est < 7 || est > 13 {
+		t.Errorf("small-range estimate %v, want ≈10", est)
+	}
+}
+
+func TestHLLDuplicateInsensitiveProperty(t *testing.T) {
+	f := func(ids []uint64) bool {
+		a := NewHLL(8, 3)
+		b := NewHLL(8, 3)
+		for _, id := range ids {
+			a.Add(id)
+		}
+		for r := 0; r < 3; r++ {
+			for i := len(ids) - 1; i >= 0; i-- {
+				b.Add(ids[i])
+			}
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHLLMergeIsUnionProperty(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a := NewHLL(8, 3)
+		b := NewHLL(8, 3)
+		u := NewHLL(8, 3)
+		for _, x := range xs {
+			a.Add(x)
+			u.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			u.Add(y)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		return a.Equal(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHLLMergeIncompatible(t *testing.T) {
+	a := NewHLL(8, 3)
+	if err := a.Merge(NewHLL(9, 3)); err == nil {
+		t.Error("different precision accepted")
+	}
+	if err := a.Merge(NewHLL(8, 4)); err == nil {
+		t.Error("different seed accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestHLLMarshalRoundtrip(t *testing.T) {
+	h := NewHLL(8, 11)
+	for i := 0; i < 5000; i++ {
+		h.Add(uint64(i))
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != h.WireSize() {
+		t.Errorf("marshaled %d bytes, WireSize %d", len(data), h.WireSize())
+	}
+	var d HLL
+	if err := d.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(h) {
+		t.Error("roundtrip mismatch")
+	}
+	if d.Estimate() != h.Estimate() {
+		t.Error("estimates differ after roundtrip")
+	}
+}
+
+func TestHLLUnmarshalErrors(t *testing.T) {
+	var h HLL
+	if err := h.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := h.UnmarshalBinary(make([]byte, 9)); err == nil {
+		t.Error("bad precision accepted")
+	}
+	good, _ := NewHLL(6, 1).MarshalBinary()
+	if err := h.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestHLLCloneIndependent(t *testing.T) {
+	h := NewHLL(6, 1)
+	h.Add(1)
+	c := h.Clone()
+	for i := uint64(0); i < 1000; i++ {
+		c.Add(i * 7919)
+	}
+	if h.Equal(c) {
+		t.Error("clone shares registers")
+	}
+}
+
+func TestHLLBeatsFMPerByte(t *testing.T) {
+	// At comparable wire size, HLL's error should generally beat FM's. Use
+	// several trials to avoid single-family luck deciding the test.
+	const n = 20000
+	const trials = 10
+	var fmErr, hllErr float64
+	for tr := 0; tr < trials; tr++ {
+		fmSk := New(8, 64, uint64(tr)) // 8×64 bits + header ≈ 74 B
+		hll := NewHLL(6, uint64(tr))   // 64 registers ≈ 73 B
+		for i := 0; i < n; i++ {
+			id := uint64(i)*0x9E3779B97F4A7C15 + uint64(tr)
+			fmSk.Add(id)
+			hll.Add(id)
+		}
+		fmErr += math.Abs(fmSk.Estimate()-n) / n
+		hllErr += math.Abs(hll.Estimate()-n) / n
+	}
+	if hllErr >= fmErr {
+		t.Errorf("HLL mean error %.3f not below FM %.3f at equal size", hllErr/trials, fmErr/trials)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := NewHLL(10, 1)
+	for i := 0; i < b.N; i++ {
+		h.Add(uint64(i))
+	}
+}

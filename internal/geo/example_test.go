@@ -1,0 +1,34 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"instantad/internal/geo"
+)
+
+// The Optimized Gossiping-2 ingredients: how much of a listener's
+// transmission disk a nearby sender covers, and the listener's approach
+// angle toward the sender.
+func ExampleOverlapFraction() {
+	const txRange = 125.0
+	listener := geo.Point{X: 0, Y: 0}
+	sender := geo.Point{X: 60, Y: 0}
+	p := geo.OverlapFraction(txRange, listener.Dist(sender))
+	velocity := geo.Vec{X: 3, Y: 0} // heading straight at the sender
+	theta := geo.AngleBetween(velocity, sender.Sub(listener))
+	fmt.Printf("overlap p = %.2f, approach angle = %.0f rad\n", p, theta)
+	// Output:
+	// overlap p = 0.70, approach angle = 0 rad
+}
+
+// Exact area-entry detection between metric samples: does this movement
+// chord cross the advertising area?
+func ExampleSegmentCircleHit() {
+	area := geo.Circle{C: geo.Point{X: 0, Y: 0}, R: 500}
+	before := geo.Point{X: -700, Y: 100}
+	after := geo.Point{X: 700, Y: 100}
+	f, hit := geo.SegmentCircleHit(before, after, area)
+	fmt.Printf("crossed: %v at fraction %.2f of the step\n", hit, f)
+	// Output:
+	// crossed: true at fraction 0.15 of the step
+}

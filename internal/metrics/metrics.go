@@ -1,0 +1,264 @@
+// Package metrics implements the paper's three evaluation metrics
+// (Section IV):
+//
+//   - Delivery Rate: the percentage of peers that passed through an ad's
+//     advertising area during its life cycle and received the ad;
+//   - Delivery Time: how long after entering the area a peer first received
+//     the ad (0 when it already had it on entry);
+//   - Number of Messages: total advertisement frames broadcast network-wide
+//     (plus bytes, for bandwidth accounting).
+//
+// The Collector implements core.Observer for the protocol-event side and
+// samples peer trajectories once per SampleEvery seconds for the area side.
+// Between samples, entries into the (shrinking) advertising area are
+// detected exactly on the sampled chord via segment–circle intersection, so
+// fast peers cannot tunnel through the boundary unnoticed.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"instantad/internal/ads"
+	"instantad/internal/core"
+	"instantad/internal/geo"
+	"instantad/internal/radio"
+	"instantad/internal/sim"
+	"instantad/internal/stats"
+)
+
+// Collector gathers per-advertisement delivery metrics and network-wide
+// traffic counts. It must be installed with Network.SetObserver before the
+// simulation starts. One Collector serves any number of ads.
+type Collector struct {
+	core.BaseObserver
+
+	sim         *sim.Simulator
+	ch          *radio.Channel
+	params      core.ProbParams
+	sampleEvery float64
+
+	tracked map[ads.ID]*adTrack
+	prevPos []geo.Point
+	prevT   float64
+
+	totalMessages uint64
+	totalBytes    uint64
+	duplicates    uint64
+	evictions     uint64
+	expirations   uint64
+	perPeerTx     []float64
+}
+
+// adTrack is the per-advertisement ledger.
+type adTrack struct {
+	origin   geo.Point
+	issuedAt float64
+	r, d     float64 // initial propagation parameters (life-cycle definition)
+	done     bool
+
+	entered     []bool
+	enterTime   []float64
+	received    []bool
+	receiveTime []float64
+
+	messages uint64
+	bytes    uint64
+}
+
+// NewCollector builds a collector sampling positions every sampleEvery
+// seconds (1 s if zero or negative). params must match the network's tuning
+// parameters so the ground-truth advertising radius R_t agrees with the
+// protocol's.
+func NewCollector(s *sim.Simulator, ch *radio.Channel, params core.ProbParams, sampleEvery float64) *Collector {
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	c := &Collector{
+		sim:         s,
+		ch:          ch,
+		params:      params,
+		sampleEvery: sampleEvery,
+		tracked:     make(map[ads.ID]*adTrack),
+		prevPos:     make([]geo.Point, ch.N()),
+		perPeerTx:   make([]float64, ch.N()),
+	}
+	for i := range c.prevPos {
+		c.prevPos[i] = ch.PositionAt(i, 0)
+	}
+	s.Every(sampleEvery, sampleEvery, c.sample)
+	return c
+}
+
+// OnIssue starts tracking an ad: peers already inside the area count as
+// entered at issue time.
+func (c *Collector) OnIssue(issuer int, ad *ads.Advertisement, t float64) {
+	n := c.ch.N()
+	tr := &adTrack{
+		origin:      ad.Origin,
+		issuedAt:    t,
+		r:           ad.R,
+		d:           ad.D,
+		entered:     make([]bool, n),
+		enterTime:   make([]float64, n),
+		received:    make([]bool, n),
+		receiveTime: make([]float64, n),
+	}
+	rt := core.RadiusAt(c.params, tr.r, tr.d, 0)
+	circle := geo.Circle{C: tr.origin, R: rt}
+	for i := 0; i < n; i++ {
+		if circle.Contains(c.ch.PositionAt(i, t)) {
+			tr.entered[i] = true
+			tr.enterTime[i] = t
+		}
+	}
+	c.tracked[ad.ID] = tr
+}
+
+// OnBroadcast accumulates message and byte counts.
+func (c *Collector) OnBroadcast(peer int, id ads.ID, bytes int, t float64) {
+	c.totalMessages++
+	c.totalBytes += uint64(bytes)
+	if peer >= 0 && peer < len(c.perPeerTx) {
+		c.perPeerTx[peer]++
+	}
+	if tr, ok := c.tracked[id]; ok && !tr.done {
+		tr.messages++
+		tr.bytes += uint64(bytes)
+	}
+}
+
+// OnFirstReceive records a peer's first contact with an ad.
+func (c *Collector) OnFirstReceive(peer int, ad *ads.Advertisement, t float64) {
+	tr, ok := c.tracked[ad.ID]
+	if !ok || tr.done || tr.received[peer] {
+		return
+	}
+	tr.received[peer] = true
+	tr.receiveTime[peer] = t
+}
+
+// OnDuplicate counts duplicate receptions.
+func (c *Collector) OnDuplicate(int, ads.ID, float64) { c.duplicates++ }
+
+// OnEvict counts cache evictions.
+func (c *Collector) OnEvict(int, ads.ID, float64) { c.evictions++ }
+
+// OnExpire counts expiry drops.
+func (c *Collector) OnExpire(int, ads.ID, float64) { c.expirations++ }
+
+// sample advances the area-crossing detector one step.
+func (c *Collector) sample() {
+	now := c.sim.Now()
+	for _, tr := range c.tracked {
+		if tr.done {
+			continue
+		}
+		age := now - tr.issuedAt
+		rt := core.RadiusAt(c.params, tr.r, tr.d, age)
+		if rt <= 0 {
+			tr.done = true
+			continue
+		}
+		circle := geo.Circle{C: tr.origin, R: rt}
+		for i := range tr.entered {
+			if tr.entered[i] {
+				continue
+			}
+			pos := c.ch.PositionAt(i, now)
+			if f, hit := geo.SegmentCircleHit(c.prevPos[i], pos, circle); hit {
+				tr.entered[i] = true
+				tr.enterTime[i] = c.prevT + f*(now-c.prevT)
+			}
+		}
+	}
+	for i := range c.prevPos {
+		c.prevPos[i] = c.ch.PositionAt(i, now)
+	}
+	c.prevT = now
+}
+
+// AdReport is the per-advertisement evaluation result.
+type AdReport struct {
+	ID            ads.ID
+	PassedThrough int     // peers that were ever inside the advertising area
+	Delivered     int     // of those, peers that received the ad
+	DeliveryRate  float64 // percent, 0–100
+	DeliveryTimes stats.Summary
+	// P50 and P95 are delivery-time percentiles over delivered entrants;
+	// zero when nothing was delivered.
+	P50, P95 float64
+	Messages uint64
+	Bytes    uint64
+}
+
+// String renders the report in the paper's metric vocabulary.
+func (r AdReport) String() string {
+	return fmt.Sprintf("%v: delivery %.1f%% (%d/%d), delivery time %.2fs, messages %d (%d bytes)",
+		r.ID, r.DeliveryRate, r.Delivered, r.PassedThrough, r.DeliveryTimes.Mean, r.Messages, r.Bytes)
+}
+
+// Report computes the metrics for one ad. It may be called at any time; the
+// figures cover activity up to now (or up to the ad's life-cycle end if that
+// already passed).
+func (c *Collector) Report(id ads.ID) (AdReport, error) {
+	tr, ok := c.tracked[id]
+	if !ok {
+		return AdReport{}, fmt.Errorf("metrics: ad %v was never issued", id)
+	}
+	rep := AdReport{ID: id, Messages: tr.messages, Bytes: tr.bytes}
+	var times []float64
+	for i := range tr.entered {
+		if !tr.entered[i] {
+			continue
+		}
+		rep.PassedThrough++
+		if tr.received[i] {
+			rep.Delivered++
+			times = append(times, math.Max(0, tr.receiveTime[i]-tr.enterTime[i]))
+		}
+	}
+	if rep.PassedThrough > 0 {
+		rep.DeliveryRate = 100 * float64(rep.Delivered) / float64(rep.PassedThrough)
+	}
+	rep.DeliveryTimes = stats.Summarize(times)
+	if len(times) > 0 {
+		rep.P50 = stats.Percentile(times, 50)
+		rep.P95 = stats.Percentile(times, 95)
+	}
+	return rep, nil
+}
+
+// TrackedIDs returns the ads this collector has seen issued.
+func (c *Collector) TrackedIDs() []ads.ID {
+	out := make([]ads.ID, 0, len(c.tracked))
+	for id := range c.tracked {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TotalMessages returns the network-wide advertisement frame count.
+func (c *Collector) TotalMessages() uint64 { return c.totalMessages }
+
+// TotalBytes returns the network-wide advertisement byte count.
+func (c *Collector) TotalBytes() uint64 { return c.totalBytes }
+
+// Duplicates returns the count of duplicate receptions.
+func (c *Collector) Duplicates() uint64 { return c.duplicates }
+
+// Evictions returns the count of cache evictions.
+func (c *Collector) Evictions() uint64 { return c.evictions }
+
+// Expirations returns the count of expiry drops.
+func (c *Collector) Expirations() uint64 { return c.expirations }
+
+// LoadGini returns the Gini coefficient of per-peer transmission counts:
+// 0 when every peer carried an equal share of the dissemination work,
+// approaching 1 when one peer (e.g. a flooding issuer) carried it all.
+func (c *Collector) LoadGini() float64 { return stats.Gini(c.perPeerTx) }
+
+// PerPeerBroadcasts returns a copy of the per-peer transmission counts.
+func (c *Collector) PerPeerBroadcasts() []float64 {
+	return append([]float64(nil), c.perPeerTx...)
+}

@@ -1,0 +1,367 @@
+// Package mobility provides the node movement models for the simulator.
+//
+// The paper evaluates with the Random Waypoint model (the NS-2 setdest
+// default): each peer starts at a uniformly random position, picks a
+// uniformly random destination, moves there in a straight line at a constant
+// speed drawn from mean±delta, pauses, and repeats. This package also
+// provides Random Walk, Manhattan-grid and Static models used in ablations.
+//
+// All models precompute a piecewise-linear trajectory up to a time horizon,
+// so Position and Velocity are exact analytic queries at any instant — there
+// is no tick quantization, and querying is O(log legs) (O(1) for the common
+// forward scan, see cursor note below).
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"instantad/internal/geo"
+	"instantad/internal/rng"
+)
+
+// Model yields a node's exact position and velocity at any time within the
+// trajectory horizon. Implementations are safe for concurrent readers after
+// construction.
+type Model interface {
+	// Position returns the node position at time t. Times before 0 return the
+	// initial position; times beyond the horizon return the final position.
+	Position(t float64) geo.Point
+	// Velocity returns the instantaneous velocity at time t (zero while
+	// pausing, before 0, and beyond the horizon).
+	Velocity(t float64) geo.Vec
+}
+
+// leg is one constant-velocity (or pausing) piece of a trajectory.
+type leg struct {
+	t0, t1   float64
+	from, to geo.Point
+}
+
+func (l leg) velocity() geo.Vec {
+	dt := l.t1 - l.t0
+	if dt <= 0 {
+		return geo.Vec{}
+	}
+	return l.to.Sub(l.from).Scale(1 / dt)
+}
+
+// trajectory is the shared piecewise-linear implementation behind every
+// model in this package.
+type trajectory struct {
+	legs []leg
+}
+
+func (tr *trajectory) locate(t float64) int {
+	// Binary search for the leg containing t.
+	i := sort.Search(len(tr.legs), func(i int) bool { return tr.legs[i].t1 > t })
+	if i >= len(tr.legs) {
+		return len(tr.legs) - 1
+	}
+	return i
+}
+
+// Position implements Model.
+func (tr *trajectory) Position(t float64) geo.Point {
+	if len(tr.legs) == 0 {
+		return geo.Point{}
+	}
+	first := tr.legs[0]
+	if t <= first.t0 {
+		return first.from
+	}
+	last := tr.legs[len(tr.legs)-1]
+	if t >= last.t1 {
+		return last.to
+	}
+	l := tr.legs[tr.locate(t)]
+	if l.t1 == l.t0 {
+		return l.to
+	}
+	f := (t - l.t0) / (l.t1 - l.t0)
+	return l.from.Lerp(l.to, f)
+}
+
+// Velocity implements Model.
+func (tr *trajectory) Velocity(t float64) geo.Vec {
+	if len(tr.legs) == 0 {
+		return geo.Vec{}
+	}
+	if t < tr.legs[0].t0 || t >= tr.legs[len(tr.legs)-1].t1 {
+		return geo.Vec{}
+	}
+	return tr.legs[tr.locate(t)].velocity()
+}
+
+// Waypoints returns the corner points of the trajectory, mostly for tests
+// and trace output.
+func (tr *trajectory) Waypoints() []geo.Point {
+	if len(tr.legs) == 0 {
+		return nil
+	}
+	pts := []geo.Point{tr.legs[0].from}
+	for _, l := range tr.legs {
+		if l.to != pts[len(pts)-1] {
+			pts = append(pts, l.to)
+		}
+	}
+	return pts
+}
+
+// RandomWaypointConfig parameterizes the Random Waypoint model.
+type RandomWaypointConfig struct {
+	Field      geo.Rect // movement area
+	SpeedMean  float64  // mean leg speed in m/s
+	SpeedDelta float64  // leg speed uniform in [mean−delta, mean+delta]
+	Pause      float64  // pause at each waypoint, seconds (0 for none)
+	Horizon    float64  // trajectory length to precompute, seconds
+}
+
+func (c RandomWaypointConfig) validate() error {
+	if c.Field.W() <= 0 || c.Field.H() <= 0 {
+		return fmt.Errorf("mobility: empty field %+v", c.Field)
+	}
+	if c.SpeedMean <= 0 {
+		return fmt.Errorf("mobility: non-positive mean speed %v", c.SpeedMean)
+	}
+	if c.SpeedDelta < 0 || c.SpeedDelta >= c.SpeedMean {
+		return fmt.Errorf("mobility: speed delta %v outside [0, mean)", c.SpeedDelta)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("mobility: non-positive horizon %v", c.Horizon)
+	}
+	return nil
+}
+
+// MaxSpeed returns the largest speed the model can produce, the V_max of the
+// paper's Optimization Mechanism (1).
+func (c RandomWaypointConfig) MaxSpeed() float64 { return c.SpeedMean + c.SpeedDelta }
+
+func uniformPoint(r geo.Rect, s *rng.Stream) geo.Point {
+	return geo.Point{
+		X: s.Range(r.Min.X, r.Max.X),
+		Y: s.Range(r.Min.Y, r.Max.Y),
+	}
+}
+
+// NewRandomWaypoint builds a Random Waypoint trajectory from its own RNG
+// stream. Construction is deterministic in (cfg, stream state).
+func NewRandomWaypoint(cfg RandomWaypointConfig, s *rng.Stream) (Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr := &trajectory{}
+	pos := uniformPoint(cfg.Field, s)
+	t := 0.0
+	for t < cfg.Horizon {
+		dst := uniformPoint(cfg.Field, s)
+		speed := s.Range(cfg.SpeedMean-cfg.SpeedDelta, cfg.SpeedMean+cfg.SpeedDelta)
+		dist := pos.Dist(dst)
+		if dist < 1e-9 {
+			continue // degenerate waypoint, redraw
+		}
+		dur := dist / speed
+		tr.legs = append(tr.legs, leg{t0: t, t1: t + dur, from: pos, to: dst})
+		t += dur
+		pos = dst
+		if cfg.Pause > 0 && t < cfg.Horizon {
+			tr.legs = append(tr.legs, leg{t0: t, t1: t + cfg.Pause, from: pos, to: pos})
+			t += cfg.Pause
+		}
+	}
+	return tr, nil
+}
+
+// RandomWalkConfig parameterizes the Random Walk model: the node repeatedly
+// picks a uniformly random direction and speed and follows it for Epoch
+// seconds, reflecting off the field boundary.
+type RandomWalkConfig struct {
+	Field      geo.Rect
+	SpeedMean  float64
+	SpeedDelta float64
+	Epoch      float64 // duration of each straight-line segment
+	Horizon    float64
+}
+
+func (c RandomWalkConfig) validate() error {
+	if c.Field.W() <= 0 || c.Field.H() <= 0 {
+		return fmt.Errorf("mobility: empty field %+v", c.Field)
+	}
+	if c.SpeedMean <= 0 || c.SpeedDelta < 0 || c.SpeedDelta >= c.SpeedMean {
+		return fmt.Errorf("mobility: bad speed %v±%v", c.SpeedMean, c.SpeedDelta)
+	}
+	if c.Epoch <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("mobility: non-positive epoch/horizon")
+	}
+	return nil
+}
+
+// MaxSpeed returns the largest speed the model can produce.
+func (c RandomWalkConfig) MaxSpeed() float64 { return c.SpeedMean + c.SpeedDelta }
+
+// NewRandomWalk builds a Random Walk trajectory.
+func NewRandomWalk(cfg RandomWalkConfig, s *rng.Stream) (Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tr := &trajectory{}
+	pos := uniformPoint(cfg.Field, s)
+	t := 0.0
+	for t < cfg.Horizon {
+		ang := s.Range(0, 2*math.Pi)
+		speed := s.Range(cfg.SpeedMean-cfg.SpeedDelta, cfg.SpeedMean+cfg.SpeedDelta)
+		dir := geo.Vec{X: speed * math.Cos(ang), Y: speed * math.Sin(ang)}
+		remaining := cfg.Epoch
+		// Walk the epoch, splitting the leg at each boundary reflection.
+		for remaining > 1e-9 && t < cfg.Horizon {
+			hitT, nx, ny := timeToBoundary(pos, dir, cfg.Field)
+			dur := remaining
+			if hitT < dur {
+				dur = hitT
+			}
+			end := pos.Add(dir.Scale(dur))
+			end = cfg.Field.Clamp(end) // guard fp drift
+			tr.legs = append(tr.legs, leg{t0: t, t1: t + dur, from: pos, to: end})
+			t += dur
+			remaining -= dur
+			pos = end
+			if hitT <= dur { // reflected
+				if nx {
+					dir.X = -dir.X
+				}
+				if ny {
+					dir.Y = -dir.Y
+				}
+			}
+		}
+	}
+	return tr, nil
+}
+
+// timeToBoundary returns the time until the point moving with velocity dir
+// exits rect, and which axis it hits (for reflection). Infinite when dir is
+// zero on both axes.
+func timeToBoundary(p geo.Point, dir geo.Vec, r geo.Rect) (t float64, hitX, hitY bool) {
+	const inf = 1e18
+	tx, ty := inf, inf
+	if dir.X > 0 {
+		tx = (r.Max.X - p.X) / dir.X
+	} else if dir.X < 0 {
+		tx = (r.Min.X - p.X) / dir.X
+	}
+	if dir.Y > 0 {
+		ty = (r.Max.Y - p.Y) / dir.Y
+	} else if dir.Y < 0 {
+		ty = (r.Min.Y - p.Y) / dir.Y
+	}
+	if tx < 0 {
+		tx = 0
+	}
+	if ty < 0 {
+		ty = 0
+	}
+	switch {
+	case tx < ty:
+		return tx, true, false
+	case ty < tx:
+		return ty, false, true
+	default:
+		return tx, tx < inf, ty < inf
+	}
+}
+
+// ManhattanConfig parameterizes a simple Manhattan-grid model: nodes move
+// along the lines of a BlockSize-spaced street grid; at each intersection
+// they continue straight with probability 0.5 or turn left/right with
+// probability 0.25 each, re-drawing the speed per street segment.
+type ManhattanConfig struct {
+	Field      geo.Rect
+	BlockSize  float64 // street spacing in meters
+	SpeedMean  float64
+	SpeedDelta float64
+	Horizon    float64
+}
+
+func (c ManhattanConfig) validate() error {
+	if c.Field.W() <= 0 || c.Field.H() <= 0 {
+		return fmt.Errorf("mobility: empty field %+v", c.Field)
+	}
+	if c.BlockSize <= 0 || c.BlockSize > c.Field.W() || c.BlockSize > c.Field.H() {
+		return fmt.Errorf("mobility: block size %v outside field", c.BlockSize)
+	}
+	if c.SpeedMean <= 0 || c.SpeedDelta < 0 || c.SpeedDelta >= c.SpeedMean {
+		return fmt.Errorf("mobility: bad speed %v±%v", c.SpeedMean, c.SpeedDelta)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("mobility: non-positive horizon")
+	}
+	return nil
+}
+
+// MaxSpeed returns the largest speed the model can produce.
+func (c ManhattanConfig) MaxSpeed() float64 { return c.SpeedMean + c.SpeedDelta }
+
+// NewManhattan builds a Manhattan-grid trajectory.
+func NewManhattan(cfg ManhattanConfig, s *rng.Stream) (Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nx := int(cfg.Field.W() / cfg.BlockSize)
+	ny := int(cfg.Field.H() / cfg.BlockSize)
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("mobility: field too small for block size")
+	}
+	// Current intersection in grid coordinates and heading (dx, dy ∈ {-1,0,1},
+	// exactly one non-zero).
+	ix, iy := s.Intn(nx+1), s.Intn(ny+1)
+	headings := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	h := headings[s.Intn(4)]
+	point := func(ix, iy int) geo.Point {
+		return geo.Point{
+			X: cfg.Field.Min.X + float64(ix)*cfg.BlockSize,
+			Y: cfg.Field.Min.Y + float64(iy)*cfg.BlockSize,
+		}
+	}
+	tr := &trajectory{}
+	t := 0.0
+	for t < cfg.Horizon {
+		// Turn or go straight; always turn if straight would leave the grid.
+		for attempts := 0; ; attempts++ {
+			jx, jy := ix+h[0], iy+h[1]
+			if jx >= 0 && jx <= nx && jy >= 0 && jy <= ny {
+				break
+			}
+			h = headings[s.Intn(4)]
+			if attempts > 8 { // corner: reverse is always valid
+				h = [2]int{-h[0], -h[1]}
+			}
+		}
+		jx, jy := ix+h[0], iy+h[1]
+		speed := s.Range(cfg.SpeedMean-cfg.SpeedDelta, cfg.SpeedMean+cfg.SpeedDelta)
+		from, to := point(ix, iy), point(jx, jy)
+		dur := from.Dist(to) / speed
+		tr.legs = append(tr.legs, leg{t0: t, t1: t + dur, from: from, to: to})
+		t += dur
+		ix, iy = jx, jy
+		// Heading choice for the next block.
+		r := s.Float64()
+		switch {
+		case r < 0.5:
+			// keep heading
+		case r < 0.75:
+			h = [2]int{-h[1], h[0]} // left
+		default:
+			h = [2]int{h[1], -h[0]} // right
+		}
+	}
+	return tr, nil
+}
+
+// NewStatic returns a model that never moves from p.
+func NewStatic(p geo.Point) Model {
+	return &trajectory{legs: []leg{{t0: 0, t1: 1e18, from: p, to: p}}}
+}

@@ -1,0 +1,206 @@
+package mobility
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"instantad/internal/geo"
+)
+
+// This file implements import/export of NS-2 movement scripts (the format
+// produced by the `setdest` tool the paper used to generate Random Waypoint
+// trajectories):
+//
+//	$node_(0) set X_ 150.00
+//	$node_(0) set Y_ 93.00
+//	$node_(0) set Z_ 0.00
+//	$ns_ at 10.00 "$node_(0) setdest 250.00 100.00 15.00"
+//
+// Importing recorded NS-2 traces lets experiments replay the exact
+// trajectories an NS-2 study used; exporting lets trajectories generated
+// here be fed back into NS-2 for cross-validation.
+
+// Leg is one public constant-velocity (or pausing) piece of a trajectory.
+type Leg struct {
+	T0, T1   float64
+	From, To [2]float64 // (x, y); a plain array keeps the wire format flat
+}
+
+// Legs exposes the trajectory's pieces for export and inspection.
+func (tr *trajectory) Legs() []Leg {
+	out := make([]Leg, len(tr.legs))
+	for i, l := range tr.legs {
+		out[i] = Leg{
+			T0: l.t0, T1: l.t1,
+			From: [2]float64{l.from.X, l.from.Y},
+			To:   [2]float64{l.to.X, l.to.Y},
+		}
+	}
+	return out
+}
+
+// LegLister is implemented by models whose trajectory is piecewise linear
+// and can therefore be exported losslessly. All models constructed by this
+// package implement it.
+type LegLister interface {
+	Legs() []Leg
+}
+
+// ExportNS2 writes the models as one NS-2 movement script; node i in the
+// script corresponds to models[i]. Models must implement LegLister. Pause
+// legs are implicit: the next setdest command simply fires later.
+func ExportNS2(w io.Writer, models []Model) error {
+	bw := bufio.NewWriter(w)
+	for i, m := range models {
+		ll, ok := m.(LegLister)
+		if !ok {
+			return fmt.Errorf("mobility: model %d (%T) is not exportable", i, m)
+		}
+		legs := ll.Legs()
+		if len(legs) == 0 {
+			return fmt.Errorf("mobility: model %d has no trajectory", i)
+		}
+		first := legs[0]
+		fmt.Fprintf(bw, "$node_(%d) set X_ %.6f\n", i, first.From[0])
+		fmt.Fprintf(bw, "$node_(%d) set Y_ %.6f\n", i, first.From[1])
+		fmt.Fprintf(bw, "$node_(%d) set Z_ 0.000000\n", i)
+		for _, l := range legs {
+			if l.From == l.To {
+				continue // pause: the gap before the next setdest encodes it
+			}
+			dur := l.T1 - l.T0
+			if dur <= 0 {
+				continue
+			}
+			dx := l.To[0] - l.From[0]
+			dy := l.To[1] - l.From[1]
+			speed := math.Hypot(dx, dy) / dur
+			fmt.Fprintf(bw, "$ns_ at %.6f \"$node_(%d) setdest %.6f %.6f %.6f\"\n",
+				l.T0, i, l.To[0], l.To[1], speed)
+		}
+	}
+	return bw.Flush()
+}
+
+var (
+	reSet     = regexp.MustCompile(`^\$node_\((\d+)\)\s+set\s+([XYZ])_\s+([-0-9.eE+]+)\s*$`)
+	reSetdest = regexp.MustCompile(`^\$ns_\s+at\s+([-0-9.eE+]+)\s+"\$node_\((\d+)\)\s+setdest\s+([-0-9.eE+]+)\s+([-0-9.eE+]+)\s+([-0-9.eE+]+)"\s*$`)
+)
+
+// ParseNS2 reads an NS-2 movement script and reconstructs one Model per
+// node, keyed by node index. Nodes hold their position until their first
+// setdest fires and after their last destination is reached, matching NS-2
+// semantics.
+func ParseNS2(r io.Reader) (map[int]Model, error) {
+	type move struct {
+		at, x, y, speed float64
+	}
+	type nodeState struct {
+		x, y  float64
+		moves []move
+	}
+	nodes := make(map[int]*nodeState)
+	get := func(id int) *nodeState {
+		st, ok := nodes[id]
+		if !ok {
+			st = &nodeState{}
+			nodes[id] = st
+		}
+		return st
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		if m := reSet.FindStringSubmatch(text); m != nil {
+			id, _ := strconv.Atoi(m[1])
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mobility: line %d: %w", line, err)
+			}
+			switch m[2] {
+			case "X":
+				get(id).x = v
+			case "Y":
+				get(id).y = v
+			}
+			continue
+		}
+		if m := reSetdest.FindStringSubmatch(text); m != nil {
+			id, _ := strconv.Atoi(m[2])
+			vals := make([]float64, 4)
+			for i, idx := range []int{1, 3, 4, 5} {
+				v, err := strconv.ParseFloat(m[idx], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mobility: line %d: %w", line, err)
+				}
+				vals[i] = v
+			}
+			st := get(id)
+			st.moves = append(st.moves, move{at: vals[0], x: vals[1], y: vals[2], speed: vals[3]})
+			continue
+		}
+		return nil, fmt.Errorf("mobility: line %d: unrecognized statement %q", line, text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("mobility: empty movement script")
+	}
+
+	out := make(map[int]Model, len(nodes))
+	for id, st := range nodes {
+		sort.SliceStable(st.moves, func(i, j int) bool { return st.moves[i].at < st.moves[j].at })
+		tr := &trajectory{}
+		cur := [2]float64{st.x, st.y}
+		t := 0.0
+		for k, mv := range st.moves {
+			if mv.at < t-1e-9 {
+				return nil, fmt.Errorf("mobility: node %d: setdest %d at %v fires before the previous move ends (%v)", id, k, mv.at, t)
+			}
+			if mv.at > t {
+				// Pause at the current position until the command fires.
+				tr.legs = append(tr.legs, newLeg(t, mv.at, cur, cur))
+				t = mv.at
+			}
+			if mv.speed <= 0 {
+				return nil, fmt.Errorf("mobility: node %d: non-positive speed %v", id, mv.speed)
+			}
+			dst := [2]float64{mv.x, mv.y}
+			dist := math.Hypot(dst[0]-cur[0], dst[1]-cur[1])
+			if dist == 0 {
+				continue
+			}
+			dur := dist / mv.speed
+			tr.legs = append(tr.legs, newLeg(t, t+dur, cur, dst))
+			t += dur
+			cur = dst
+		}
+		if len(tr.legs) == 0 {
+			// A node that never moves: a static trajectory at its position.
+			tr.legs = append(tr.legs, newLeg(0, 1e18, cur, cur))
+		}
+		out[id] = tr
+	}
+	return out, nil
+}
+
+func newLeg(t0, t1 float64, from, to [2]float64) leg {
+	return leg{
+		t0: t0, t1: t1,
+		from: geo.Point{X: from[0], Y: from[1]},
+		to:   geo.Point{X: to[0], Y: to[1]},
+	}
+}

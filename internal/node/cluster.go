@@ -1,0 +1,122 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"instantad/internal/ads"
+	"instantad/internal/geo"
+)
+
+// Cluster is a set of live nodes on one machine, fully meshed at the
+// datagram level, sharing a protocol epoch — the quickest way to stand up a
+// real deployment for testing, demos and local experiments. The virtual
+// radio (per-node Range) decides who actually hears whom.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// NewCluster builds one node per configuration, wires every node to every
+// other as a datagram peer, and aligns their protocol clocks. ListenAddr
+// defaults to "127.0.0.1:0" when empty. Nodes are not started; call Start.
+// On any error the already-bound sockets are closed.
+func NewCluster(cfgs []Config) (*Cluster, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("node: empty cluster")
+	}
+	epoch := time.Now()
+	c := &Cluster{}
+	for i, cfg := range cfgs {
+		if cfg.ListenAddr == "" {
+			cfg.ListenAddr = "127.0.0.1:0"
+		}
+		n, err := New(cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		n.SetEpoch(epoch)
+		c.Nodes = append(c.Nodes, n)
+	}
+	for i, a := range c.Nodes {
+		for j, b := range c.Nodes {
+			if i == j {
+				continue
+			}
+			if err := a.AddPeer(b.Addr()); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Start starts every node.
+func (c *Cluster) Start() {
+	for _, n := range c.Nodes {
+		n.Start()
+	}
+}
+
+// Close shuts every node down, returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.Nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAll polls until every node has heard the given ad or the timeout
+// passes, reporting success.
+func (c *Cluster) WaitAll(id ads.ID, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		all := true
+		for _, n := range c.Nodes {
+			if !n.Has(id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TotalSent sums the datagrams sent across the cluster.
+func (c *Cluster) TotalSent() uint64 {
+	var total uint64
+	for _, n := range c.Nodes {
+		total += n.Stats().Sent
+	}
+	return total
+}
+
+// ChainConfigs is a convenience for the canonical demo topology: n nodes in
+// a line, spacing meters apart, with the given radio range and round time.
+func ChainConfigs(n int, spacing, radioRange float64, round time.Duration) []Config {
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			ID:        uint32(i),
+			Range:     radioRange,
+			Position:  StaticPosition(geo.Point{X: float64(i) * spacing, Y: 0}),
+			Alpha:     0.5,
+			Beta:      0.5,
+			RoundTime: round,
+			CacheK:    10,
+			Opt2:      true,
+			Seed:      uint64(i) + 1,
+		}
+	}
+	return cfgs
+}

@@ -1,0 +1,84 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+
+	"instantad/internal/ads"
+	"instantad/internal/geo"
+)
+
+func sampleEnvelope() *envelope {
+	return &envelope{
+		Sender: 42,
+		Pos:    geo.Point{X: 123.5, Y: -7},
+		Vel:    geo.Vec{X: 3, Y: -4},
+		Ad: &ads.Advertisement{
+			ID: ads.ID{Issuer: 42, Seq: 7}, Origin: geo.Point{X: 1, Y: 2},
+			IssuedAt: 10, R: 500, D: 180, Category: "petrol", Text: "live",
+		},
+	}
+}
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	e := sampleEnvelope()
+	data, err := e.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := decodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Sender != e.Sender || d.Pos != e.Pos || d.Vel != e.Vel {
+		t.Errorf("header mismatch: %+v vs %+v", d, e)
+	}
+	if !reflect.DeepEqual(d.Ad, e.Ad) {
+		t.Errorf("ad mismatch: %+v vs %+v", d.Ad, e.Ad)
+	}
+}
+
+func TestEnvelopeDecodeErrors(t *testing.T) {
+	good, _ := sampleEnvelope().encode()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:10],
+		"bad magic":   append([]byte{0x00}, good[1:]...),
+		"bad version": append([]byte{envMagic, 99}, good[2:]...),
+		"bad ad":      good[:envHeaderLen+3],
+	}
+	for name, data := range cases {
+		if _, err := decodeEnvelope(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Non-finite kinematics are rejected (they would poison distances).
+	nan := append([]byte(nil), good...)
+	for i := 6; i < 14; i++ {
+		nan[i] = 0xFF // exponent all ones → NaN pattern
+	}
+	if _, err := decodeEnvelope(nan); err == nil {
+		t.Error("NaN position accepted")
+	}
+}
+
+// FuzzDecodeEnvelope hardens the datagram parser.
+func FuzzDecodeEnvelope(f *testing.F) {
+	good, _ := sampleEnvelope().encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:envHeaderLen])
+	f.Fuzz(func(t *testing.T, in []byte) {
+		e, err := decodeEnvelope(in)
+		if err != nil {
+			return
+		}
+		out, err := e.encode()
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("non-canonical envelope: %d vs %d bytes", len(out), len(in))
+		}
+	})
+}

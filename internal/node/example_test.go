@@ -1,0 +1,32 @@
+package node_test
+
+import (
+	"fmt"
+	"time"
+
+	"instantad/internal/core"
+	"instantad/internal/node"
+)
+
+// Stand up a real three-node deployment on loopback: a chain where the far
+// node can only hear the ad through the middle relay's datagrams.
+func ExampleNewCluster() {
+	cluster, err := node.NewCluster(node.ChainConfigs(3, 200, 250, 40*time.Millisecond))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	ad, err := cluster.Nodes[0].Issue(core.AdSpec{
+		R: 800, D: 30, Category: "petrol", Text: "Unleaded $1.45/L",
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("delivered end to end:", cluster.WaitAll(ad.ID, 5*time.Second))
+	// Output:
+	// delivered end to end: true
+}

@@ -1,0 +1,462 @@
+package node
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"instantad/internal/ads"
+	"instantad/internal/core"
+	"instantad/internal/fm"
+	"instantad/internal/geo"
+	"instantad/internal/rng"
+)
+
+// PositionFunc reports the node's current position and velocity (a GPS in
+// the paper's deployment).
+type PositionFunc func(now time.Time) (geo.Point, geo.Vec)
+
+// StaticPosition returns a PositionFunc pinned at p.
+func StaticPosition(p geo.Point) PositionFunc {
+	return func(time.Time) (geo.Point, geo.Vec) { return p, geo.Vec{} }
+}
+
+// Config parameterizes a live node.
+type Config struct {
+	// ID is the node's stable identity (the "MAC address" of ad IDs).
+	ID uint32
+	// ListenAddr is the UDP address to bind, e.g. "127.0.0.1:0".
+	ListenAddr string
+	// Peers are the datagram destinations standing in for the broadcast
+	// medium. The virtual radio below decides who actually "hears".
+	Peers []string
+	// Range is the virtual transmission range in meters; incoming packets
+	// from senders farther than Range (per their advertised position) are
+	// dropped. Zero disables the check (pure overlay mode).
+	Range float64
+	// Position provides the node's own kinematics; required.
+	Position PositionFunc
+	// Alpha and Beta are the paper's tuning parameters.
+	Alpha, Beta float64
+	// RoundTime is the gossip round Δt.
+	RoundTime time.Duration
+	// CacheK is the Store & Forward capacity.
+	CacheK int
+	// DIS, when positive, enables Optimization Mechanism (1) with that
+	// annulus width.
+	DIS float64
+	// Opt2 enables the overhearing postponement (Mechanism 2).
+	Opt2 bool
+	// Seed drives the node's forwarding coin flips.
+	Seed uint64
+	// Popularity enables FM-sketch interest ranking (Section III.E); the
+	// node's user ID for sketch hashing derives from ID.
+	Popularity core.PopularityConfig
+	// Interests are the node's interest keywords for ad matching.
+	Interests []string
+	// Logf, when non-nil, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) validate() error {
+	if c.ListenAddr == "" {
+		return fmt.Errorf("node: empty listen address")
+	}
+	if c.Position == nil {
+		return fmt.Errorf("node: nil position provider")
+	}
+	params := core.ProbParams{Alpha: c.Alpha, Beta: c.Beta}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if c.RoundTime <= 0 {
+		return fmt.Errorf("node: non-positive round time %v", c.RoundTime)
+	}
+	if c.CacheK < 1 {
+		return fmt.Errorf("node: cache capacity %d < 1", c.CacheK)
+	}
+	if c.Range < 0 || c.DIS < 0 {
+		return fmt.Errorf("node: negative range or DIS")
+	}
+	return nil
+}
+
+// Node is one live protocol participant.
+type Node struct {
+	cfg    Config
+	params core.ProbParams
+	conn   *net.UDPConn
+	peers  []*net.UDPAddr
+
+	mu        sync.Mutex
+	cache     *ads.Cache
+	seen      map[ads.ID]bool
+	interests map[string]bool
+	rnd       *rng.Stream
+	nextSeq   uint32
+	epoch     time.Time // protocol time zero: ages are seconds since epoch
+
+	stats   Stats
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// Stats counts a live node's activity.
+type Stats struct {
+	Sent       uint64 // datagrams transmitted (per peer destination)
+	Broadcasts uint64 // gossip decisions that fired (one per ad broadcast)
+	Received   uint64 // envelopes accepted
+	OutOfRange uint64 // envelopes dropped by the virtual radio
+	Malformed  uint64 // undecodable datagrams
+	Duplicates uint64 // envelopes for ads already cached
+}
+
+// New binds the node's socket. Call Start to begin gossiping and Close to
+// shut down.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	n := &Node{
+		cfg:       cfg,
+		params:    core.ProbParams{Alpha: cfg.Alpha, Beta: cfg.Beta},
+		conn:      conn,
+		cache:     ads.NewCache(cfg.CacheK),
+		seen:      make(map[ads.ID]bool),
+		interests: make(map[string]bool, len(cfg.Interests)),
+		rnd:       rng.New(cfg.Seed),
+		epoch:     time.Now(),
+		done:      make(chan struct{}),
+	}
+	for _, k := range cfg.Interests {
+		n.interests[k] = true
+	}
+	for _, p := range cfg.Peers {
+		addr, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("node: peer %q: %w", p, err)
+		}
+		n.peers = append(n.peers, addr)
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// AddPeer adds a datagram destination at runtime.
+func (n *Node) AddPeer(addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("node: peer %q: %w", addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append(n.peers, a)
+	return nil
+}
+
+// Start launches the receive loop and the gossip scheduler.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		panic("node: Start called twice")
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.gossipLoop()
+}
+
+// Close stops the node and releases the socket.
+func (n *Node) Close() error {
+	select {
+	case <-n.done:
+		return nil // already closed
+	default:
+	}
+	close(n.done)
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}
+
+// now returns the protocol clock: seconds since the node's epoch. Ads issued
+// by any node in the same deployment must share an epoch convention; for
+// loopback clusters, construct all nodes at roughly the same time or issue
+// with explicit ages.
+func (n *Node) now() float64 { return time.Since(n.epoch).Seconds() }
+
+// SetEpoch aligns the node's protocol clock with a shared zero point. Call
+// before Start on every node of a cluster.
+func (n *Node) SetEpoch(t time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch = t
+}
+
+// Issue injects a new advertisement at the node's current position and
+// broadcasts it once.
+func (n *Node) Issue(spec core.AdSpec) (*ads.Advertisement, error) {
+	pos, _ := n.cfg.Position(time.Now())
+	n.mu.Lock()
+	ad := &ads.Advertisement{
+		ID:       ads.ID{Issuer: n.cfg.ID, Seq: n.nextSeq},
+		Origin:   pos,
+		IssuedAt: n.now(),
+		R:        spec.R,
+		D:        spec.D,
+		Category: spec.Category,
+		Keywords: spec.Keywords,
+		Text:     spec.Text,
+	}
+	n.nextSeq++
+	if err := ad.Validate(); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	if n.cfg.Popularity.Enabled {
+		pc := n.cfg.Popularity
+		if pc.F == 0 {
+			pc.F = 8
+		}
+		if pc.L == 0 {
+			pc.L = 32
+		}
+		ad.Sketch = fm.New(pc.F, pc.L, pc.SketchSeed)
+	}
+	n.seen[ad.ID] = true
+	own := ad.Clone()
+	n.applyPopularityLocked(own)
+	e, overflow := n.cache.Insert(own, n.forwardProbLocked(own, pos))
+	e.ScheduledAt = n.now() + n.cfg.RoundTime.Seconds()
+	if overflow {
+		n.evictLocked()
+	}
+	n.mu.Unlock()
+	n.broadcast(own)
+	return ad, nil
+}
+
+// Has reports whether the node has ever heard the given ad.
+func (n *Node) Has(id ads.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seen[id]
+}
+
+// Cached returns copies of the currently cached ads.
+func (n *Node) Cached() []*ads.Advertisement {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*ads.Advertisement, 0, n.cache.Len())
+	for _, e := range n.cache.Entries() {
+		out = append(out, e.Ad.Clone())
+	}
+	return out
+}
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// forwardProbLocked evaluates the configured probability function. Callers
+// hold n.mu.
+func (n *Node) forwardProbLocked(ad *ads.Advertisement, pos geo.Point) float64 {
+	d := pos.Dist(ad.Origin)
+	age := ad.Age(n.now())
+	if n.cfg.DIS > 0 {
+		return core.ForwardProbOpt1(n.params, d, ad.R, ad.D, age, n.cfg.DIS)
+	}
+	return core.ForwardProb(n.params, d, ad.R, ad.D, age)
+}
+
+// evictLocked refreshes probabilities and drops the lowest entry.
+func (n *Node) evictLocked() {
+	pos, _ := n.cfg.Position(time.Now())
+	for _, e := range n.cache.Entries() {
+		e.Prob = n.forwardProbLocked(e.Ad, pos)
+	}
+	n.cache.EvictLowest()
+}
+
+// readLoop receives, filters and integrates envelopes.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		nb, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				n.logf("read error: %v", err)
+				continue
+			}
+		}
+		env, err := decodeEnvelope(buf[:nb])
+		if err != nil {
+			n.mu.Lock()
+			n.stats.Malformed++
+			n.mu.Unlock()
+			continue
+		}
+		n.handle(env)
+	}
+}
+
+// handle applies the virtual radio and the paper's receive algorithm.
+func (n *Node) handle(env *envelope) {
+	pos, vel := n.cfg.Position(time.Now())
+	if n.cfg.Range > 0 && pos.Dist(env.Pos) > n.cfg.Range {
+		n.mu.Lock()
+		n.stats.OutOfRange++
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.now()
+	if env.Ad.Expired(now) {
+		return
+	}
+	n.stats.Received++
+	n.seen[env.Ad.ID] = true
+	if e := n.cache.Get(env.Ad.ID); e != nil {
+		n.stats.Duplicates++
+		if env.Ad.R > e.Ad.R {
+			e.Ad.R = env.Ad.R
+		}
+		if env.Ad.D > e.Ad.D {
+			e.Ad.D = env.Ad.D
+		}
+		if e.Ad.Sketch != nil && env.Ad.Sketch != nil {
+			_ = e.Ad.Sketch.Merge(env.Ad.Sketch)
+		}
+		if n.cfg.Opt2 {
+			// Formula 4 with the real overlap and approach angle.
+			p := geo.OverlapFraction(n.cfg.Range, pos.Dist(env.Pos))
+			theta := geo.AngleBetween(vel, env.Pos.Sub(pos))
+			e.ScheduledAt += core.PostponeInterval(n.cfg.RoundTime.Seconds(), p, theta)
+		}
+		return
+	}
+	own := env.Ad.Clone()
+	n.applyPopularityLocked(own)
+	e, overflow := n.cache.Insert(own, n.forwardProbLocked(own, pos))
+	e.ScheduledAt = now + n.cfg.RoundTime.Seconds()
+	if overflow {
+		n.evictLocked()
+	}
+}
+
+// applyPopularityLocked mirrors Algorithm 5 on a live node: match, hash the
+// node's user identity into the sketches, enlarge on a visible rank rise.
+// Callers hold n.mu.
+func (n *Node) applyPopularityLocked(ad *ads.Advertisement) {
+	if !n.cfg.Popularity.Enabled || ad.Sketch == nil || !ad.MatchesAny(n.interests) {
+		return
+	}
+	before := ad.Sketch.Rank()
+	if !ad.Sketch.Add(uint64(n.cfg.ID) + 1) {
+		return
+	}
+	after := ad.Sketch.Rank()
+	if after > before {
+		core.Enlarge(ad, after, n.cfg.Popularity)
+	}
+}
+
+// gossipLoop fires due cache entries. With Opt2 each entry has its own
+// postponable schedule; without, entries still carry per-entry times that
+// simply advance by one round each firing — equivalent to round gossip with
+// a per-ad phase.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	tick := n.cfg.RoundTime / 5
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+			n.fireDue()
+		}
+	}
+}
+
+// fireDue broadcasts every cached ad whose scheduled time has arrived.
+func (n *Node) fireDue() {
+	pos, _ := n.cfg.Position(time.Now())
+	var toSend []*ads.Advertisement
+	n.mu.Lock()
+	now := n.now()
+	for _, e := range n.cache.RemoveExpired(now) {
+		_ = e // expired ads just vanish
+	}
+	for _, e := range n.cache.Entries() {
+		if e.ScheduledAt > now {
+			continue
+		}
+		e.Prob = n.forwardProbLocked(e.Ad, pos)
+		if n.rnd.Bool(e.Prob) {
+			toSend = append(toSend, e.Ad.Clone())
+		}
+		e.ScheduledAt = now + n.cfg.RoundTime.Seconds()
+	}
+	n.mu.Unlock()
+	for _, ad := range toSend {
+		n.broadcast(ad)
+	}
+}
+
+// broadcast sends one ad to every peer destination.
+func (n *Node) broadcast(ad *ads.Advertisement) {
+	pos, vel := n.cfg.Position(time.Now())
+	env := envelope{Sender: n.cfg.ID, Pos: pos, Vel: vel, Ad: ad}
+	data, err := env.encode()
+	if err != nil {
+		n.logf("encode: %v", err)
+		return
+	}
+	n.mu.Lock()
+	peers := append([]*net.UDPAddr(nil), n.peers...)
+	n.stats.Broadcasts++
+	n.mu.Unlock()
+	for _, peer := range peers {
+		if _, err := n.conn.WriteToUDP(data, peer); err != nil {
+			n.logf("send to %v: %v", peer, err)
+			continue
+		}
+		n.mu.Lock()
+		n.stats.Sent++
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}

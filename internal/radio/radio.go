@@ -1,0 +1,455 @@
+// Package radio models the short-range broadcast wireless channel that the
+// paper's peers communicate over (IEEE 802.11 / Bluetooth class links in
+// NS-2). It replaces the NS-2 PHY/MAC with the abstractions the advertising
+// protocols actually depend on:
+//
+//   - unit-disk connectivity: a broadcast by node i is heard by every node
+//     within transmission range Range of i's position at transmit time;
+//   - per-frame latency: contention backoff jitter plus serialization time
+//     (frame bytes / bitrate) plus a fixed propagation/processing delay;
+//   - optional impairments for ablations: independent per-link frame loss,
+//     and a receiver-side collision model in which two frames whose airtimes
+//     overlap at a common receiver destroy each other.
+//
+// Node positions come from analytic mobility models; a spatial hash grid
+// with a motion-slack margin makes neighbor queries cheap without
+// sacrificing exactness (candidates from the grid are re-filtered against
+// exact positions).
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+// Config parameterizes the channel.
+type Config struct {
+	// Range is the transmission range in meters (unit-disk model). The paper
+	// uses the NS-2 802.11 default of 250 m.
+	Range float64
+	// BitrateBps is the link serialization rate in bits/s (802.11b ≈ 2e6 for
+	// broadcast frames). Zero disables serialization delay.
+	BitrateBps float64
+	// BaseLatency is a fixed per-frame propagation+processing delay, seconds.
+	BaseLatency float64
+	// JitterMax is the maximum sender-side random access delay (CSMA backoff
+	// proxy), seconds. The actual delay is uniform in [0, JitterMax).
+	JitterMax float64
+	// LossRate is an independent per-link frame loss probability in [0, 1).
+	LossRate float64
+	// FadeZone softens the unit disk's edge: receivers within
+	// [Range−FadeZone, Range] hear a frame with probability falling linearly
+	// from 1 to 0 across the zone — the "gray zone" real radios exhibit.
+	// Zero keeps the hard disk.
+	FadeZone float64
+	// Collisions enables the receiver-side collision model.
+	Collisions bool
+	// Energy configures radio energy accounting (disabled by default).
+	Energy EnergyConfig
+	// GridRefresh is how often the spatial snapshot is rebuilt, seconds.
+	// Queries between rebuilds widen the candidate search by the distance
+	// nodes can travel in the interim, so results remain exact.
+	GridRefresh float64
+	// MaxSpeed bounds node speed; it sizes the grid-staleness slack.
+	MaxSpeed float64
+}
+
+// DefaultConfig returns the canonical channel used in the experiments:
+// 250 m range, 2 Mb/s, 1 ms base latency, 5 ms max jitter, no impairments.
+func DefaultConfig() Config {
+	return Config{
+		Range:       250,
+		BitrateBps:  2e6,
+		BaseLatency: 1e-3,
+		JitterMax:   5e-3,
+		GridRefresh: 1.0,
+		MaxSpeed:    15,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Range <= 0 {
+		return fmt.Errorf("radio: non-positive range %v", c.Range)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("radio: loss rate %v outside [0,1)", c.LossRate)
+	}
+	if c.GridRefresh <= 0 {
+		return fmt.Errorf("radio: non-positive grid refresh %v", c.GridRefresh)
+	}
+	if c.MaxSpeed < 0 {
+		return fmt.Errorf("radio: negative max speed %v", c.MaxSpeed)
+	}
+	if c.BaseLatency < 0 || c.JitterMax < 0 || c.BitrateBps < 0 {
+		return fmt.Errorf("radio: negative delay parameter")
+	}
+	if c.FadeZone < 0 || c.FadeZone >= c.Range {
+		if c.FadeZone != 0 {
+			return fmt.Errorf("radio: fade zone %v outside [0, range)", c.FadeZone)
+		}
+	}
+	return c.Energy.validate()
+}
+
+// Frame is one broadcast transmission. Payload is opaque to the channel;
+// Bytes is the wire size used for serialization delay and traffic accounting.
+type Frame struct {
+	From    int
+	Payload any
+	Bytes   int
+}
+
+// DeliverFunc is invoked once per (frame, receiver) when the frame arrives.
+type DeliverFunc func(to int, f Frame)
+
+// Stats counts channel activity for the experiment metrics.
+type Stats struct {
+	Broadcasts uint64  // frames transmitted
+	Deliveries uint64  // (frame, receiver) arrivals handed to the protocol
+	Lost       uint64  // (frame, receiver) pairs dropped by random loss
+	Faded      uint64  // (frame, receiver) pairs dropped in the fade zone
+	Collided   uint64  // (frame, receiver) pairs destroyed by collisions
+	BytesSent  uint64  // sum of frame sizes over broadcasts
+	AirtimeSec float64 // summed frame serialization time across broadcasts
+}
+
+// Channel is the broadcast medium shared by all nodes.
+type Channel struct {
+	cfg     Config
+	sim     *sim.Simulator
+	models  []mobility.Model
+	deliver DeliverFunc
+	rnd     *rng.Stream
+	stats   Stats
+
+	// Per-node transmission ranges; nil means every node uses cfg.Range.
+	// Supports mixed device classes (vehicular radios vs handsets).
+	nodeRange []float64
+	maxRange  float64
+
+	// offline marks powered-down radios: they neither transmit nor receive.
+	// nil means everyone is online.
+	offline []bool
+
+	// Spatial hash grid snapshot.
+	cellSize  float64
+	gridAt    float64
+	gridBuilt bool
+	cells     map[[2]int][]int
+	snapPos   []geo.Point
+
+	// Per-receiver in-flight receptions, used by the collision model.
+	inflight [][]*reception
+
+	// Energy accounting (see energy.go).
+	energyTx, energyRx float64
+	energyPerNode      []float64
+}
+
+type reception struct {
+	start, end float64
+	corrupted  bool
+}
+
+// New creates a channel over the given per-node mobility models. deliver is
+// called for every successful (frame, receiver) arrival; it must not be nil.
+func New(s *sim.Simulator, cfg Config, models []mobility.Model, deliver DeliverFunc, rnd *rng.Stream) (*Channel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("radio: nil deliver callback")
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("radio: no nodes")
+	}
+	c := &Channel{
+		cfg:      cfg,
+		sim:      s,
+		models:   models,
+		deliver:  deliver,
+		rnd:      rnd,
+		maxRange: cfg.Range,
+		cellSize: cfg.Range,
+		cells:    make(map[[2]int][]int),
+		snapPos:  make([]geo.Point, len(models)),
+		inflight: make([][]*reception, len(models)),
+	}
+	if cfg.Energy.Enabled {
+		c.energyPerNode = make([]float64, len(models))
+	}
+	return c, nil
+}
+
+// SetNodeRange overrides node i's transmission range (e.g. a pedestrian
+// handset with a shorter reach than the default vehicular radio). It must be
+// called before the simulation runs. Reception follows the sender's range:
+// a long-range sender reaches a short-range node, but not vice versa.
+func (c *Channel) SetNodeRange(i int, r float64) error {
+	if i < 0 || i >= len(c.models) {
+		return fmt.Errorf("radio: unknown node %d", i)
+	}
+	if r <= 0 {
+		return fmt.Errorf("radio: non-positive range %v", r)
+	}
+	if c.nodeRange == nil {
+		c.nodeRange = make([]float64, len(c.models))
+		for j := range c.nodeRange {
+			c.nodeRange[j] = c.cfg.Range
+		}
+	}
+	c.nodeRange[i] = r
+	if r > c.maxRange {
+		c.maxRange = r
+	}
+	return nil
+}
+
+// RangeOf returns node i's transmission range.
+func (c *Channel) RangeOf(i int) float64 {
+	if c.nodeRange == nil {
+		return c.cfg.Range
+	}
+	return c.nodeRange[i]
+}
+
+// SetOnline powers node i's radio on or off. An offline node neither hears
+// broadcasts nor reaches anyone; the paper's "issuer … then go off-line" is
+// exactly this. Frames already in flight toward a node that just went
+// offline are dropped at arrival.
+func (c *Channel) SetOnline(i int, on bool) error {
+	if i < 0 || i >= len(c.models) {
+		return fmt.Errorf("radio: unknown node %d", i)
+	}
+	if c.offline == nil {
+		if on {
+			return nil
+		}
+		c.offline = make([]bool, len(c.models))
+	}
+	c.offline[i] = !on
+	return nil
+}
+
+// Online reports whether node i's radio is powered.
+func (c *Channel) Online(i int) bool {
+	return c.offline == nil || !c.offline[i]
+}
+
+// N returns the number of nodes on the channel.
+func (c *Channel) N() int { return len(c.models) }
+
+// Stats returns a copy of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// PositionOf returns node i's exact position at the current simulation time.
+func (c *Channel) PositionOf(i int) geo.Point {
+	return c.models[i].Position(c.sim.Now())
+}
+
+// VelocityOf returns node i's exact velocity at the current simulation time.
+func (c *Channel) VelocityOf(i int) geo.Vec {
+	return c.models[i].Velocity(c.sim.Now())
+}
+
+// PositionAt returns node i's exact position at an arbitrary time.
+func (c *Channel) PositionAt(i int, t float64) geo.Point {
+	return c.models[i].Position(t)
+}
+
+func (c *Channel) cellOf(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / c.cellSize)), int(math.Floor(p.Y / c.cellSize))}
+}
+
+func (c *Channel) rebuildGrid() {
+	now := c.sim.Now()
+	clear(c.cells)
+	for i, m := range c.models {
+		p := m.Position(now)
+		c.snapPos[i] = p
+		key := c.cellOf(p)
+		c.cells[key] = append(c.cells[key], i)
+	}
+	c.gridAt = now
+	c.gridBuilt = true
+}
+
+// NeighborsOf returns every node j ≠ i within node i's transmission range at
+// the current simulation time. The result is exact: the grid snapshot only
+// pre-filters candidates, with a slack margin covering motion since the last
+// rebuild.
+func (c *Channel) NeighborsOf(i int) []int {
+	return c.NodesWithin(c.PositionOf(i), c.RangeOf(i), i)
+}
+
+// NodesWithin returns every node within radius of center at the current
+// simulation time, excluding node exclude (pass a negative value to exclude
+// nobody).
+func (c *Channel) NodesWithin(center geo.Point, radius float64, exclude int) []int {
+	now := c.sim.Now()
+	if !c.gridBuilt || now-c.gridAt >= c.cfg.GridRefresh {
+		c.rebuildGrid()
+	}
+	// A node whose snapshot position was d away may now be up to
+	// d − slack …​ d + slack from where it was; search the snapshot out to
+	// radius + slack and confirm with exact positions.
+	slack := c.cfg.MaxSpeed * (now - c.gridAt)
+	reach := radius + slack
+	span := int(math.Ceil(reach / c.cellSize))
+	cc := c.cellOf(center)
+	r2 := radius * radius
+	var out []int
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, j := range c.cells[[2]int{cc[0] + dx, cc[1] + dy}] {
+				if j == exclude || !c.Online(j) {
+					continue
+				}
+				if c.models[j].Position(now).Dist2(center) <= r2 {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// airtime returns the serialization delay for a frame of the given size.
+func (c *Channel) airtime(bytes int) float64 {
+	if c.cfg.BitrateBps <= 0 {
+		return 0
+	}
+	return float64(bytes*8) / c.cfg.BitrateBps
+}
+
+// Broadcast transmits f from node f.From at the current simulation time. All
+// nodes within range at transmit start hear the frame after the access
+// jitter, airtime and base latency, unless lost or collided.
+func (c *Channel) Broadcast(f Frame) {
+	if f.From < 0 || f.From >= len(c.models) {
+		panic(fmt.Sprintf("radio: broadcast from unknown node %d", f.From))
+	}
+	if !c.Online(f.From) {
+		return // a powered-down radio cannot transmit
+	}
+	c.stats.Broadcasts++
+	c.stats.BytesSent += uint64(f.Bytes)
+	c.stats.AirtimeSec += c.airtime(f.Bytes)
+	c.chargeTx(f.From, f.Bytes)
+
+	jitter := 0.0
+	if c.cfg.JitterMax > 0 && c.rnd != nil {
+		jitter = c.rnd.Range(0, c.cfg.JitterMax)
+	}
+	start := c.sim.Now() + jitter
+	end := start + c.airtime(f.Bytes)
+	arrive := end + c.cfg.BaseLatency
+
+	var senderPos geo.Point
+	if c.cfg.FadeZone > 0 {
+		senderPos = c.PositionOf(f.From)
+	}
+	neighbors := c.NeighborsOf(f.From)
+	for _, j := range neighbors {
+		// The receiver's radio front-end pays for every frame that reaches
+		// it, even ones subsequently lost, faded or collided.
+		c.chargeRx(j, f.Bytes)
+		if c.cfg.LossRate > 0 && c.rnd != nil && c.rnd.Bool(c.cfg.LossRate) {
+			c.stats.Lost++
+			continue
+		}
+		if c.cfg.FadeZone > 0 && c.rnd != nil {
+			d := c.PositionOf(j).Dist(senderPos)
+			if edge := c.RangeOf(f.From) - d; edge < c.cfg.FadeZone {
+				if !c.rnd.Bool(edge / c.cfg.FadeZone) {
+					c.stats.Faded++
+					continue
+				}
+			}
+		}
+		var rec *reception
+		if c.cfg.Collisions {
+			rec = c.noteReception(j, start, end)
+			if rec == nil {
+				continue // already counted as collided
+			}
+		}
+		j := j
+		c.sim.Schedule(arrive, func() {
+			if rec != nil && rec.corrupted {
+				c.stats.Collided++
+				return
+			}
+			if !c.Online(j) {
+				return // receiver powered down while the frame was in flight
+			}
+			c.stats.Deliveries++
+			c.deliver(j, f)
+		})
+	}
+}
+
+// noteReception registers an in-flight frame at receiver j and applies the
+// collision rule: any temporal overlap with another in-flight frame corrupts
+// both. It returns the reception record, or nil when the frame immediately
+// collides with one that has already been counted.
+func (c *Channel) noteReception(j int, start, end float64) *reception {
+	now := c.sim.Now()
+	// Prune completed receptions.
+	live := c.inflight[j][:0]
+	for _, r := range c.inflight[j] {
+		if r.end > now {
+			live = append(live, r)
+		}
+	}
+	c.inflight[j] = live
+	rec := &reception{start: start, end: end}
+	for _, r := range c.inflight[j] {
+		if r.start < end && start < r.end { // temporal overlap
+			r.corrupted = true
+			rec.corrupted = true
+		}
+	}
+	c.inflight[j] = append(c.inflight[j], rec)
+	return rec
+}
+
+// DistanceBetween returns the exact distance between nodes i and j now.
+func (c *Channel) DistanceBetween(i, j int) float64 {
+	now := c.sim.Now()
+	return c.models[i].Position(now).Dist(c.models[j].Position(now))
+}
+
+// OverlapWith returns the fraction of node j's transmission disk covered by
+// node i's transmission disk at the current time — the p of Optimization
+// Mechanism (2). With heterogeneous ranges the lens is computed on the two
+// actual radii.
+func (c *Channel) OverlapWith(i, j int) float64 {
+	ri, rj := c.RangeOf(i), c.RangeOf(j)
+	d := c.DistanceBetween(i, j)
+	if ri == rj {
+		return geo.OverlapFraction(ri, d)
+	}
+	return geo.LensArea(ri, rj, d) / (math.Pi * rj * rj)
+}
+
+// Range returns the configured transmission range.
+func (c *Channel) Range() float64 { return c.cfg.Range }
+
+// Utilization returns the fraction of the elapsed simulation time the
+// medium spent serializing advertisement frames (network-wide airtime over
+// wall time; local utilization around a hotspot is higher). A crude but
+// useful congestion indicator: the paper's motivation for cutting message
+// counts is exactly keeping this low on a shared channel.
+func (c *Channel) Utilization() float64 {
+	now := c.sim.Now()
+	if now <= 0 {
+		return 0
+	}
+	return c.stats.AirtimeSec / now
+}

@@ -1,0 +1,31 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"instantad/internal/sim"
+)
+
+// A miniature protocol round: timers, cancellation and deterministic
+// ordering.
+func ExampleSimulator() {
+	s := sim.New()
+	s.Schedule(2, func() { fmt.Println("world at", s.Now()) })
+	s.Schedule(1, func() { fmt.Println("hello at", s.Now()) })
+	doomed := s.Schedule(3, func() { fmt.Println("never") })
+	s.Cancel(doomed)
+	tick := 0
+	var tk *sim.Ticker
+	tk = s.Every(4, 1, func() {
+		tick++
+		if tick == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run(100)
+	fmt.Println("ticks:", tick, "clock:", s.Now())
+	// Output:
+	// hello at 1
+	// world at 2
+	// ticks: 2 clock: 100
+}

@@ -1,0 +1,210 @@
+// Package sim implements the discrete-event simulation engine that replaces
+// NS-2 in this reproduction. It provides a time-ordered event queue with
+// deterministic tie-breaking, cancellable and reschedulable timers, and a
+// simple run loop.
+//
+// Time is a float64 in seconds from the start of the simulation. Events
+// scheduled for the same instant fire in scheduling order (FIFO), which keeps
+// runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is meaningless; events are
+// created by Simulator.Schedule and friends.
+type Event struct {
+	time   float64
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	fn     func()
+	canned bool
+}
+
+// Time returns the instant the event is (or was) scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.canned }
+
+// Pending reports whether the event is still in the queue awaiting dispatch.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.canned }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+type Simulator struct {
+	now        float64
+	seq        uint64
+	queue      eventHeap
+	dispatched uint64
+	stopped    bool
+}
+
+// New returns an empty simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Dispatched returns the number of events executed so far.
+func (s *Simulator) Dispatched() uint64 { return s.dispatched }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it always indicates a protocol bug, and silently
+// clamping would mask causality violations. Scheduling exactly at Now is
+// allowed and fires after the current event completes.
+func (s *Simulator) Schedule(at float64, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at invalid time %v", at))
+	}
+	e := &Event{time: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After enqueues fn to run delay seconds from now. Negative delays panic.
+func (s *Simulator) After(delay float64, fn func()) *Event {
+	return s.Schedule(s.now+delay, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that has
+// already fired, or cancelling twice, is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canned {
+		return
+	}
+	e.canned = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving FIFO
+// order among same-time events by assigning a fresh sequence number. If the
+// event already fired or was cancelled, Reschedule schedules it anew.
+func (s *Simulator) Reschedule(e *Event, at float64) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, s.now))
+	}
+	if e.index >= 0 && !e.canned {
+		heap.Remove(&s.queue, e.index)
+	}
+	e.canned = false
+	e.time = at
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Stop makes the current Run invocation return after the event being
+// dispatched completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run dispatches events in time order until the queue empties or the next
+// event lies strictly beyond until. The clock finishes at min(until, last
+// event time); it is set to until when the queue drains early so that
+// repeated Run calls advance monotonically.
+func (s *Simulator) Run(until float64) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.time
+		s.dispatched++
+		next.fn()
+	}
+	if s.now < until && !math.IsInf(until, 1) {
+		s.now = until
+	}
+}
+
+// RunAll dispatches every queued event (including those scheduled while
+// running) until the queue is empty or Stop is called. Use only in tests and
+// bounded workloads; a self-rescheduling timer makes this loop forever.
+func (s *Simulator) RunAll() {
+	s.Run(math.Inf(1))
+}
+
+// Every schedules fn to run at now+delay and then every period seconds until
+// the returned Ticker is stopped. fn runs before the next occurrence is
+// scheduled, so it may stop the ticker from within.
+func (s *Simulator) Every(delay, period float64, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.ev = s.After(delay, t.tick)
+	return t
+}
+
+// Ticker is a repeating timer created by Simulator.Every.
+type Ticker struct {
+	sim     *Simulator
+	period  float64
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.sim.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels the ticker. It is safe to call from within the ticker's own
+// callback and is idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.sim.Cancel(t.ev)
+}

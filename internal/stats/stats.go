@@ -1,0 +1,120 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness needs for aggregating replicated simulation runs:
+// means, standard deviations, percentiles and normal-approximation
+// confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders "mean ± stddev (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+// CI95 returns the half-width of the normal-approximation 95 % confidence
+// interval for the mean. Zero for samples of fewer than two observations.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	return Summarize(xs).Mean
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty sample or an
+// out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Gini returns the Gini coefficient of xs (all values must be ≥ 0): 0 for
+// perfectly equal distributions, approaching 1 when one element carries
+// everything. Empty or all-zero samples return 0. Used to quantify how
+// evenly a protocol spreads transmission load (and therefore battery drain)
+// across peers.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		if x < 0 {
+			panic(fmt.Sprintf("stats: negative value %v in Gini input", x))
+		}
+		cum += x * float64(2*(i+1)-len(sorted)-1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(len(sorted)) * total)
+}

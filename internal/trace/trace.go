@@ -1,0 +1,206 @@
+// Package trace records protocol-level simulation events as JSON Lines for
+// offline inspection, debugging and replay analysis. A Recorder implements
+// core.Observer; chain it after the metrics collector with
+// core.MultiObserver. The reader side parses traces back and summarizes
+// them (event counts, time span, per-ad message totals).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"instantad/internal/ads"
+	"instantad/internal/core"
+	"instantad/internal/radio"
+)
+
+// Kind enumerates trace event types.
+type Kind string
+
+const (
+	KindIssue     Kind = "issue"
+	KindBroadcast Kind = "broadcast"
+	KindReceive   Kind = "receive"
+	KindDuplicate Kind = "duplicate"
+	KindExpire    Kind = "expire"
+	KindEvict     Kind = "evict"
+)
+
+// Event is one line of a trace.
+type Event struct {
+	T     float64 `json:"t"`
+	Kind  Kind    `json:"kind"`
+	Peer  int     `json:"peer"`
+	Ad    string  `json:"ad"`
+	Bytes int     `json:"bytes,omitempty"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// Recorder streams events to a writer as JSONL. It is not safe for
+// concurrent use; the simulator is single-threaded, which is the intended
+// context.
+type Recorder struct {
+	core.BaseObserver
+	bw  *bufio.Writer
+	ch  *radio.Channel
+	err error
+	n   int
+}
+
+// NewRecorder returns a recorder writing to w. ch, when non-nil, annotates
+// each event with the peer's position at event time.
+func NewRecorder(w io.Writer, ch *radio.Channel) *Recorder {
+	return &Recorder{bw: bufio.NewWriter(w), ch: ch}
+}
+
+// Err returns the first write error encountered, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Count returns the number of events written.
+func (r *Recorder) Count() int { return r.n }
+
+// Flush flushes buffered events and reports any deferred write error.
+func (r *Recorder) Flush() error {
+	if err := r.bw.Flush(); err != nil {
+		return err
+	}
+	return r.err
+}
+
+func (r *Recorder) emit(t float64, kind Kind, peer int, id ads.ID, bytes int) {
+	if r.err != nil {
+		return
+	}
+	e := Event{T: t, Kind: kind, Peer: peer, Ad: id.String(), Bytes: bytes}
+	if r.ch != nil && peer >= 0 && peer < r.ch.N() {
+		p := r.ch.PositionAt(peer, t)
+		e.X, e.Y = p.X, p.Y
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.bw.Write(append(data, '\n')); err != nil {
+		r.err = err
+		return
+	}
+	r.n++
+}
+
+// OnIssue implements core.Observer.
+func (r *Recorder) OnIssue(issuer int, ad *ads.Advertisement, t float64) {
+	r.emit(t, KindIssue, issuer, ad.ID, 0)
+}
+
+// OnBroadcast implements core.Observer.
+func (r *Recorder) OnBroadcast(peer int, id ads.ID, bytes int, t float64) {
+	r.emit(t, KindBroadcast, peer, id, bytes)
+}
+
+// OnFirstReceive implements core.Observer.
+func (r *Recorder) OnFirstReceive(peer int, ad *ads.Advertisement, t float64) {
+	r.emit(t, KindReceive, peer, ad.ID, 0)
+}
+
+// OnDuplicate implements core.Observer.
+func (r *Recorder) OnDuplicate(peer int, id ads.ID, t float64) {
+	r.emit(t, KindDuplicate, peer, id, 0)
+}
+
+// OnExpire implements core.Observer.
+func (r *Recorder) OnExpire(peer int, id ads.ID, t float64) {
+	r.emit(t, KindExpire, peer, id, 0)
+}
+
+// OnEvict implements core.Observer.
+func (r *Recorder) OnEvict(peer int, id ads.ID, t float64) {
+	r.emit(t, KindEvict, peer, id, 0)
+}
+
+// Read parses a JSONL trace. It fails on the first malformed line,
+// reporting its line number.
+func Read(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if e.Kind == "" {
+			return nil, fmt.Errorf("trace: line %d: missing kind", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Events     int
+	ByKind     map[Kind]int
+	Start, End float64
+	Peers      int            // distinct peers appearing in the trace
+	Ads        []string       // distinct ads, sorted
+	MsgsPerAd  map[string]int // broadcasts per ad
+	Bytes      int
+}
+
+// Summarize computes a Summary. An empty trace yields an error: summarizing
+// nothing usually indicates a wiring bug upstream.
+func Summarize(events []Event) (Summary, error) {
+	if len(events) == 0 {
+		return Summary{}, errors.New("trace: empty trace")
+	}
+	s := Summary{
+		ByKind:    make(map[Kind]int),
+		MsgsPerAd: make(map[string]int),
+		Start:     events[0].T,
+		End:       events[0].T,
+	}
+	peers := make(map[int]bool)
+	adSet := make(map[string]bool)
+	for _, e := range events {
+		s.Events++
+		s.ByKind[e.Kind]++
+		if e.T < s.Start {
+			s.Start = e.T
+		}
+		if e.T > s.End {
+			s.End = e.T
+		}
+		peers[e.Peer] = true
+		adSet[e.Ad] = true
+		if e.Kind == KindBroadcast {
+			s.MsgsPerAd[e.Ad]++
+			s.Bytes += e.Bytes
+		}
+	}
+	s.Peers = len(peers)
+	for ad := range adSet {
+		s.Ads = append(s.Ads, ad)
+	}
+	sort.Strings(s.Ads)
+	return s, nil
+}
+
+// String renders the summary for CLI output.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d events over [%.1fs, %.1fs], %d peers, %d ads, %d broadcast bytes",
+		s.Events, s.Start, s.End, s.Peers, len(s.Ads), s.Bytes)
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"instantad/internal/core"
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/radio"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+// runTraced executes a small static-network scenario with a recorder
+// chained after no other observer.
+func runTraced(t *testing.T) (*Recorder, *bytes.Buffer) {
+	t.Helper()
+	s := sim.New()
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}}
+	models := make([]mobility.Model, len(pts))
+	for i, p := range pts {
+		models[i] = mobility.NewStatic(p)
+	}
+	net, err := core.New(s, radio.DefaultConfig(), models, core.Config{
+		Protocol:  core.Gossip,
+		Params:    core.ProbParams{Alpha: 0.5, Beta: 0.5},
+		RoundTime: 5,
+		CacheK:    10,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, net.Channel())
+	net.SetObserver(rec)
+	net.Start()
+	s.Schedule(1, func() {
+		if _, err := net.IssueAd(0, core.AdSpec{R: 500, D: 60}); err != nil {
+			t.Errorf("issue: %v", err)
+		}
+	})
+	s.Run(150)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return rec, &buf
+}
+
+func TestRecorderWritesAllEventKinds(t *testing.T) {
+	rec, buf := runTraced(t)
+	if rec.Count() == 0 {
+		t.Fatal("no events recorded")
+	}
+	events, err := Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != rec.Count() {
+		t.Errorf("read %d events, recorder says %d", len(events), rec.Count())
+	}
+	kinds := make(map[Kind]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []Kind{KindIssue, KindBroadcast, KindReceive, KindDuplicate, KindExpire} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events in trace", k)
+		}
+	}
+	if kinds[KindIssue] != 1 {
+		t.Errorf("issue events = %d, want 1", kinds[KindIssue])
+	}
+}
+
+func TestEventsCarryPositionsAndTimes(t *testing.T) {
+	_, buf := runTraced(t)
+	events, _ := Read(buf)
+	prev := -1.0
+	for _, e := range events {
+		if e.T < prev {
+			t.Fatalf("events out of order: %v after %v", e.T, prev)
+		}
+		prev = e.T
+		if e.Peer < 0 || e.Peer > 2 {
+			t.Fatalf("bad peer %d", e.Peer)
+		}
+		// Static peers sit at x ∈ {0,100,200}, y = 0.
+		if e.Y != 0 || e.X != float64(e.Peer*100) {
+			t.Fatalf("event position (%v,%v) wrong for peer %d", e.X, e.Y, e.Peer)
+		}
+		if !strings.HasPrefix(e.Ad, "ad-0/") {
+			t.Fatalf("unexpected ad id %q", e.Ad)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	_, buf := runTraced(t)
+	events, _ := Read(buf)
+	sum, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != len(events) {
+		t.Errorf("Events = %d", sum.Events)
+	}
+	if sum.Peers != 3 {
+		t.Errorf("Peers = %d, want 3", sum.Peers)
+	}
+	if len(sum.Ads) != 1 || sum.MsgsPerAd[sum.Ads[0]] == 0 {
+		t.Errorf("ads %v msgs %v", sum.Ads, sum.MsgsPerAd)
+	}
+	if sum.Bytes == 0 {
+		t.Error("no bytes counted")
+	}
+	if sum.Start < 0 || sum.End <= sum.Start {
+		t.Errorf("span [%v, %v]", sum.Start, sum.End)
+	}
+	if sum.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty trace summarized without error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"t":1,"peer":0,"ad":"x"}` + "\n")); err == nil {
+		t.Error("line without kind accepted")
+	}
+	events, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank lines: %v %v", events, err)
+	}
+}
+
+func TestRoundtripThroughReader(t *testing.T) {
+	_, buf := runTraced(t)
+	raw := buf.String()
+	events, err := Read(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-serialize via a second pass: counts must match.
+	s1, _ := Summarize(events)
+	events2, err := Read(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Summarize(events2)
+	if s1.Events != s2.Events || s1.Bytes != s2.Bytes {
+		t.Error("re-read changed the summary")
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	// Recorder + recorder via MultiObserver: both see every event.
+	s := sim.New()
+	models := []mobility.Model{
+		mobility.NewStatic(geo.Point{X: 0, Y: 0}),
+		mobility.NewStatic(geo.Point{X: 50, Y: 0}),
+	}
+	net, err := core.New(s, radio.DefaultConfig(), models, core.Config{
+		Protocol:  core.Gossip,
+		Params:    core.ProbParams{Alpha: 0.5, Beta: 0.5},
+		RoundTime: 5,
+		CacheK:    10,
+	}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	r1 := NewRecorder(&b1, net.Channel())
+	r2 := NewRecorder(&b2, net.Channel())
+	net.SetObserver(core.MultiObserver(r1, nil, r2))
+	net.Start()
+	s.Schedule(1, func() { _, _ = net.IssueAd(0, core.AdSpec{R: 300, D: 30}) })
+	s.Run(60)
+	_ = r1.Flush()
+	_ = r2.Flush()
+	if r1.Count() == 0 || r1.Count() != r2.Count() {
+		t.Errorf("fan-out counts differ: %d vs %d", r1.Count(), r2.Count())
+	}
+}
+
+func TestAnalyzeRecoveredRun(t *testing.T) {
+	_, buf := runTraced(t)
+	events, err := Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Peers != 3 || len(a.Ads) != 1 {
+		t.Fatalf("peers=%d ads=%d", a.Peers, len(a.Ads))
+	}
+	ad := a.Ads[0]
+	if ad.Reach != 3 {
+		t.Errorf("reach = %d, want all 3", ad.Reach)
+	}
+	if ad.Issuer != 0 || ad.IssuedAt != 1 {
+		t.Errorf("issue facts wrong: %+v", ad)
+	}
+	if ad.TimeTo50 < 0 || ad.TimeToFull < ad.TimeTo50 {
+		t.Errorf("timing inconsistent: t50=%v tfull=%v", ad.TimeTo50, ad.TimeToFull)
+	}
+	if ad.Broadcasts == 0 || ad.Duplicates == 0 || ad.Expirations == 0 {
+		t.Errorf("counters not recovered: %+v", ad)
+	}
+	if out := a.Render(); !strings.Contains(out, "ad-0/0") || !strings.Contains(out, "reach") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("empty trace analyzed")
+	}
+}
+
+func TestAnalyzeAgreesWithSummarize(t *testing.T) {
+	_, buf := runTraced(t)
+	events, _ := Read(buf)
+	a, _ := Analyze(events)
+	s, _ := Summarize(events)
+	var broadcasts, bytes int
+	for _, ad := range a.Ads {
+		broadcasts += ad.Broadcasts
+		bytes += ad.Bytes
+	}
+	if broadcasts != s.ByKind[KindBroadcast] || bytes != s.Bytes {
+		t.Errorf("analysis (%d, %d) disagrees with summary (%d, %d)",
+			broadcasts, bytes, s.ByKind[KindBroadcast], s.Bytes)
+	}
+}

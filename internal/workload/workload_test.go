@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"instantad/internal/core"
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/radio"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+func testNetwork(t *testing.T, n int) *core.Network {
+	t.Helper()
+	models := make([]mobility.Model, n)
+	for i := range models {
+		models[i] = mobility.NewStatic(geo.Point{X: float64(i), Y: 0})
+	}
+	net, err := core.New(sim.New(), radio.DefaultConfig(), models, core.Config{
+		Protocol:  core.Gossip,
+		Params:    core.ProbParams{Alpha: 0.5, Beta: 0.5},
+		RoundTime: 5,
+		CacheK:    10,
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestAssignInterestsCoversAllPeers(t *testing.T) {
+	net := testNetwork(t, 50)
+	AssignInterests(net, InterestConfig{}, rng.New(2))
+	for i := 0; i < net.NumPeers(); i++ {
+		in := net.Peer(i).Interests()
+		if len(in) < 1 || len(in) > 3 {
+			t.Errorf("peer %d has %d interests, want 1..3", i, len(in))
+		}
+		for k := range in {
+			found := false
+			for _, c := range Categories {
+				if c == k {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("peer %d has unknown interest %q", i, k)
+			}
+		}
+	}
+}
+
+func TestAssignInterestsSkewFavorsTopCategories(t *testing.T) {
+	net := testNetwork(t, 400)
+	AssignInterests(net, InterestConfig{Skew: 1.5, MaxPerPeer: 1}, rng.New(3))
+	counts := make(map[string]int)
+	for i := 0; i < net.NumPeers(); i++ {
+		for k := range net.Peer(i).Interests() {
+			counts[k]++
+		}
+	}
+	if counts[Categories[0]] <= counts[Categories[len(Categories)-1]] {
+		t.Errorf("skewed assignment not skewed: %v", counts)
+	}
+}
+
+func TestAssignInterestsDeterministic(t *testing.T) {
+	a := testNetwork(t, 20)
+	b := testNetwork(t, 20)
+	AssignInterests(a, InterestConfig{}, rng.New(7))
+	AssignInterests(b, InterestConfig{}, rng.New(7))
+	for i := 0; i < 20; i++ {
+		ia, ib := a.Peer(i).Interests(), b.Peer(i).Interests()
+		if len(ia) != len(ib) {
+			t.Fatalf("peer %d interest counts differ", i)
+		}
+		for k := range ia {
+			if !ib[k] {
+				t.Fatalf("peer %d interests differ: %v vs %v", i, ia, ib)
+			}
+		}
+	}
+}
+
+func TestCustomCategories(t *testing.T) {
+	net := testNetwork(t, 10)
+	AssignInterests(net, InterestConfig{Categories: []string{"only"}, MaxPerPeer: 2}, rng.New(4))
+	for i := 0; i < 10; i++ {
+		in := net.Peer(i).Interests()
+		if len(in) != 1 || !in["only"] {
+			t.Errorf("peer %d interests = %v", i, in)
+		}
+	}
+}
+
+func TestAdTextNonEmptyForAllCategories(t *testing.T) {
+	for _, c := range Categories {
+		for seq := 0; seq < 3; seq++ {
+			if AdText(c, seq) == "" {
+				t.Errorf("empty text for %s/%d", c, seq)
+			}
+		}
+	}
+	if !strings.Contains(AdText("custom-cat", 5), "custom-cat") {
+		t.Error("fallback text should mention the category")
+	}
+}
+
+func TestSpecAndRandomSpec(t *testing.T) {
+	s := Spec("petrol", 0, 500, 180)
+	if s.Category != "petrol" || s.R != 500 || s.D != 180 || s.Text == "" {
+		t.Errorf("spec = %+v", s)
+	}
+	r := rng.New(9)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		rs := RandomSpec(r, i, 400, 120, 1.0)
+		if rs.R != 400 || rs.D != 120 {
+			t.Fatalf("random spec params wrong: %+v", rs)
+		}
+		seen[rs.Category] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("random specs drew only %d categories", len(seen))
+	}
+}
