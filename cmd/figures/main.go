@@ -10,6 +10,7 @@
 //	                        #   sensitivity)
 //	figures -quick          # scaled-down sweeps for a fast sanity pass
 //	figures -reps 5         # more seeds per point
+//	figures -fig fig7 -cpuprofile cpu.pprof   # profile a sweep
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"instantad"
@@ -24,14 +27,46 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which figure to regenerate")
-		reps   = flag.Int("reps", 3, "seeds per point")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast pass")
-		quiet  = flag.Bool("q", false, "suppress progress lines")
-		chart  = flag.Bool("chart", false, "render ASCII charts alongside the tables")
-		csvDir = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		fig        = flag.String("fig", "all", "which figure to regenerate")
+		reps       = flag.Int("reps", 3, "seeds per point")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		quiet      = flag.Bool("q", false, "suppress progress lines")
+		chart      = flag.Bool("chart", false, "render ASCII charts alongside the tables")
+		csvDir     = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

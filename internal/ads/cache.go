@@ -20,6 +20,20 @@ type Entry struct {
 	// Timer is an opaque handle owned by the protocol (a *sim.Event); the
 	// cache only carries it so eviction can hand it back for cancellation.
 	Timer any
+	// Shared marks Ad as a copy-on-write snapshot that in-flight frames or
+	// other peers' caches may also reference; mutate it only through Own.
+	Shared bool
+}
+
+// Own returns the entry's ad for mutation, first replacing a shared
+// copy-on-write snapshot with a private clone. Callers that only read the
+// ad should use e.Ad directly.
+func (e *Entry) Own() *Advertisement {
+	if e.Shared {
+		e.Ad = e.Ad.Clone()
+		e.Shared = false
+	}
+	return e.Ad
 }
 
 // Cache is the per-peer Store & Forward advertisement cache. The paper keeps

@@ -150,7 +150,7 @@ func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg C
 			cache:     ads.NewCache(cfg.CacheK),
 			rnd:       rnd.SplitIndex("peer", i),
 			received:  make(map[ads.ID]bool),
-			relayed:   make(map[ads.ID]uint32),
+			relayed:   make(map[ads.ID]relayMark),
 		}
 	}
 	return n, nil
@@ -261,12 +261,13 @@ func (n *Network) IssueAd(issuer int, spec AdSpec) (*ads.Advertisement, error) {
 	if n.cfg.Protocol == RelevanceExchange {
 		own := ad.Clone()
 		rel := Relevance(own, 0, n.sim.Now())
-		if _, overflow := p.cache.Insert(own, rel); overflow {
+		e, overflow := p.cache.Insert(own, rel)
+		if overflow {
 			if victim := p.cache.EvictLowest(); victim != nil {
 				n.obs.OnEvict(p.id, victim.Ad.ID, n.sim.Now())
 			}
 		}
-		p.broadcastAd(own)
+		p.broadcastAd(e)
 		return ad, nil
 	}
 	// Gossip variants: self-deliver and spread once.
@@ -279,7 +280,7 @@ func (n *Network) IssueAd(issuer int, spec AdSpec) (*ads.Advertisement, error) {
 	if overflow {
 		p.evictOne()
 	}
-	p.broadcastAd(own)
+	p.broadcastAd(e)
 	return ad, nil
 }
 
@@ -313,8 +314,10 @@ type Peer struct {
 
 	// received marks ads this peer has ever heard (delivery bookkeeping).
 	received map[ads.ID]bool
-	// relayed maps ad → last flooding cycle this peer relayed.
-	relayed map[ads.ID]uint32
+	// relayed maps ad → flooding relay bookkeeping; entries are pruned once
+	// the ad is past its advertising duration D (see pruneRelayed).
+	relayed      map[ads.ID]relayMark
+	relayedSweep float64
 	// relevance holds the Relevance Exchange comparator's state, nil under
 	// the paper's own protocols.
 	relevance *relevancePeerState
@@ -364,13 +367,18 @@ func (p *Peer) forwardProb(ad *ads.Advertisement) float64 {
 	return ForwardProb(n.cfg.Params, d, ad.R, ad.D, age)
 }
 
-// broadcastAd transmits a snapshot of ad to all neighbors. A powered-down
-// peer transmits nothing (and counts nothing).
-func (p *Peer) broadcastAd(ad *ads.Advertisement) {
+// broadcastAd transmits the entry's ad to all neighbors. The frame shares
+// the cached snapshot instead of cloning it; marking the entry Shared makes
+// any later local mutation copy first (copy-on-write), so the in-flight
+// snapshot stays immutable — exactly the independent "message copy" the old
+// per-broadcast clone produced, without the per-broadcast allocation. A
+// powered-down peer transmits nothing (and counts nothing).
+func (p *Peer) broadcastAd(e *ads.Entry) {
 	if !p.net.ch.Online(p.id) {
 		return
 	}
-	snap := ad.Clone()
+	snap := e.Ad
+	e.Shared = true
 	bytes := snap.WireSize()
 	p.net.obs.OnBroadcast(p.id, snap.ID, bytes, p.net.sim.Now())
 	p.net.ch.Broadcast(radio.Frame{From: p.id, Payload: gossipFrame{ad: snap}, Bytes: bytes})
@@ -404,9 +412,16 @@ func (p *Peer) handleGossip(f gossipFrame, from int) {
 		}
 		return
 	}
-	own := ad.Clone()
+	// Copy-on-write: adopt the frame's immutable snapshot directly; clone
+	// only when this peer is about to mutate it (a popularity update now —
+	// later merges and enlargements go through Entry.Own).
+	own, shared := ad, true
+	if p.popularityMutates(ad) {
+		own, shared = ad.Clone(), false
+	}
 	p.applyPopularity(own)
 	e, overflow := p.cache.Insert(own, p.forwardProb(own))
+	e.Shared = shared
 	if n.cfg.Protocol.usesOpt2() {
 		p.armEntryTimer(e)
 	}
@@ -418,17 +433,27 @@ func (p *Peer) handleGossip(f gossipFrame, from int) {
 // mergeDuplicate folds a duplicate message copy into the cached entry: FM
 // sketches are OR-merged and enlarged propagation parameters adopted, the
 // duplicate-insensitive semantics Section III.E requires (see DESIGN.md).
+// When the duplicate would change nothing — the common case without the
+// popularity mechanism — the shared snapshot is kept as-is.
 func (p *Peer) mergeDuplicate(e *ads.Entry, in *ads.Advertisement) {
-	if e.Ad.Sketch != nil && in.Sketch != nil {
+	if in == e.Ad {
+		return // the cached snapshot itself came back around
+	}
+	mergeSketch := e.Ad.Sketch != nil && in.Sketch != nil
+	if !mergeSketch && in.R <= e.Ad.R && in.D <= e.Ad.D {
+		return
+	}
+	ad := e.Own()
+	if mergeSketch {
 		// Seed/shape mismatches cannot happen inside one network; ignore the
 		// error to keep the hot path tight.
-		_ = e.Ad.Sketch.Merge(in.Sketch)
+		_ = ad.Sketch.Merge(in.Sketch)
 	}
-	if in.R > e.Ad.R {
-		e.Ad.R = in.R
+	if in.R > ad.R {
+		ad.R = in.R
 	}
-	if in.D > e.Ad.D {
-		e.Ad.D = in.D
+	if in.D > ad.D {
+		ad.D = in.D
 	}
 }
 
@@ -469,7 +494,7 @@ func (p *Peer) gossipRound() {
 	for _, e := range p.cache.Entries() {
 		e.Prob = p.forwardProb(e.Ad)
 		if p.rnd.Bool(e.Prob) {
-			p.broadcastAd(e.Ad)
+			p.broadcastAd(e)
 		}
 	}
 }
@@ -505,7 +530,7 @@ func (p *Peer) entryFire(id ads.ID) {
 	}
 	e.Prob = p.forwardProb(e.Ad)
 	if p.rnd.Bool(e.Prob) {
-		p.broadcastAd(e.Ad)
+		p.broadcastAd(e)
 	}
 	e.ScheduledAt = now + p.net.cfg.RoundTime
 	if ev, ok := e.Timer.(*sim.Event); ok {
@@ -545,7 +570,9 @@ func (p *Peer) startFloodCycle(ad *ads.Advertisement) {
 			return
 		}
 		cycle++
-		p.broadcastFlood(floodFrame{ad: ad.Clone(), cycle: cycle, radius: rt})
+		// The flood path never mutates the ad after issue — receivers relay
+		// the frame as-is — so every cycle can share the issuer's snapshot.
+		p.broadcastFlood(floodFrame{ad: ad, cycle: cycle, radius: rt})
 	})
 }
 
@@ -559,6 +586,29 @@ func (p *Peer) broadcastFlood(f floodFrame) {
 	p.net.ch.Broadcast(radio.Frame{From: p.id, Payload: f, Bytes: bytes})
 }
 
+// relayMark is the flooding relay bookkeeping for one ad: the last cycle
+// this peer relayed and when the ad stops being advertised — after which
+// the mark can be dropped (an expired ad is discarded before the relay
+// check, so a pruned mark can never readmit a live duplicate).
+type relayMark struct {
+	cycle  uint32
+	expiry float64
+}
+
+// pruneRelayed sweeps expired relay marks, at most once per round so the
+// sweep cost amortizes to O(1) per received frame.
+func (p *Peer) pruneRelayed(now float64) {
+	if now < p.relayedSweep {
+		return
+	}
+	p.relayedSweep = now + p.net.cfg.RoundTime
+	for id, m := range p.relayed {
+		if now >= m.expiry {
+			delete(p.relayed, id)
+		}
+	}
+}
+
 // handleFlood implements the Restricted Flooding relay rule: a receiver
 // inside the embedded radius relays each cycle's message exactly once;
 // receivers outside the radius absorb but do not relay.
@@ -569,13 +619,14 @@ func (p *Peer) handleFlood(f floodFrame) {
 		return
 	}
 	p.markReceived(f.ad)
-	if last, ok := p.relayed[f.ad.ID]; ok && last >= f.cycle {
+	p.pruneRelayed(now)
+	if last, ok := p.relayed[f.ad.ID]; ok && last.cycle >= f.cycle {
 		n.obs.OnDuplicate(p.id, f.ad.ID, now)
 		return
 	}
 	if p.Position().Dist(f.ad.Origin) > f.radius {
 		return
 	}
-	p.relayed[f.ad.ID] = f.cycle
+	p.relayed[f.ad.ID] = relayMark{cycle: f.cycle, expiry: f.ad.IssuedAt + f.ad.D}
 	p.broadcastFlood(f)
 }

@@ -23,6 +23,15 @@ func Rank(ad *ads.Advertisement) int {
 	return ad.Sketch.Rank()
 }
 
+// popularityMutates reports whether applyPopularity may write to ad — the
+// copy-on-write receive path clones the shared frame snapshot first exactly
+// when this holds. Conservative: Sketch.Add can turn out to be a no-op (bits
+// already set), but predicting that would cost as much as the write.
+func (p *Peer) popularityMutates(ad *ads.Advertisement) bool {
+	cfg := p.net.cfg.Popularity
+	return cfg.Enabled && ad.Sketch != nil && p.Matches(ad)
+}
+
 // applyPopularity implements Algorithm 5 on a locally cached copy: if the ad
 // matches one of the peer's interests, hash the peer's user ID into the FM
 // sketches; if that visibly raised the rank, enlarge R and D per Formula 7.

@@ -76,7 +76,7 @@ func (p *Peer) relevanceRound() {
 		return
 	}
 	for _, e := range p.cache.Entries() {
-		p.broadcastAd(e.Ad)
+		p.broadcastAd(e)
 	}
 }
 
@@ -97,7 +97,10 @@ func (p *Peer) handleRelevance(f gossipFrame) {
 		n.obs.OnDuplicate(p.id, ad.ID, now)
 		return
 	}
-	_, overflow := p.cache.Insert(ad.Clone(), rel)
+	// The comparator never mutates cached resources (relevance is recomputed
+	// from immutable fields), so the frame snapshot is adopted copy-on-write.
+	e, overflow := p.cache.Insert(ad, rel)
+	e.Shared = true
 	if overflow {
 		// Entries' Prob fields were refreshed each round; refresh again at
 		// the current position for an exact comparison.

@@ -1,0 +1,90 @@
+package radio
+
+import (
+	"testing"
+
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+// denseChannel builds the hot-path benchmark fixture: 1000 static nodes
+// scattered uniformly over the canonical 1500 m field with the canonical
+// 125 m transmission range, so a broadcast reaches ~20 receivers.
+func denseChannel(b *testing.B, cfg Config) (*sim.Simulator, *Channel) {
+	b.Helper()
+	const n = 1000
+	r := rng.New(42)
+	s := sim.New()
+	models := make([]mobility.Model, n)
+	for i := range models {
+		models[i] = mobility.NewStatic(geo.Point{X: r.Range(0, 1500), Y: r.Range(0, 1500)})
+	}
+	ch, err := New(s, cfg, models, func(int, Frame) {}, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ch
+}
+
+// BenchmarkBroadcastDense measures one broadcast→deliver cycle on a dense
+// network — the single-run hot path every figure and sweep funnels through.
+// The allocs/op column is the headline number: the broadcast pipeline should
+// be allocation-free in steady state.
+func BenchmarkBroadcastDense(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Range = 125
+	s, ch := denseChannel(b, cfg)
+	// Warm the grid and any internal pools before measuring steady state.
+	ch.Broadcast(Frame{From: 0, Bytes: 100})
+	s.RunAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Broadcast(Frame{From: i % ch.N(), Bytes: 100})
+		s.RunAll()
+	}
+}
+
+// BenchmarkBroadcastDenseCollisions is the same pipeline with the
+// receiver-side collision model enabled (the most stateful channel variant).
+func BenchmarkBroadcastDenseCollisions(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Range = 125
+	cfg.Collisions = true
+	s, ch := denseChannel(b, cfg)
+	ch.Broadcast(Frame{From: 0, Bytes: 100})
+	s.RunAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Broadcast(Frame{From: i % ch.N(), Bytes: 100})
+		s.RunAll()
+	}
+}
+
+// BenchmarkNodesWithin measures the raw spatial query against the grid
+// snapshot (exact re-filter included). The Alloc variant is the convenience
+// API returning a fresh slice; the Scratch variant appends into a reused
+// buffer, which is what the broadcast hot path uses and must stay at zero
+// allocations.
+func BenchmarkNodesWithin(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Range = 125
+	_, ch := denseChannel(b, cfg)
+	center := geo.Point{X: 750, Y: 750}
+	b.Run("Alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ch.NodesWithin(center, 125, -1)
+		}
+	})
+	b.Run("Scratch", func(b *testing.B) {
+		var buf []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = ch.AppendNodesWithin(buf[:0], center, 125, -1)
+		}
+	})
+}

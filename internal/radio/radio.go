@@ -11,10 +11,17 @@
 //     and a receiver-side collision model in which two frames whose airtimes
 //     overlap at a common receiver destroy each other.
 //
-// Node positions come from analytic mobility models; a spatial hash grid
-// with a motion-slack margin makes neighbor queries cheap without
-// sacrificing exactness (candidates from the grid are re-filtered against
-// exact positions).
+// Node positions come from analytic mobility models; a flat dense cell grid
+// over the nodes' bounding box, with a motion-slack margin, makes neighbor
+// queries cheap without sacrificing exactness (candidates from the grid are
+// re-filtered against exact positions).
+//
+// The broadcast→deliver pipeline is allocation-free in steady state: the
+// grid is a reusable CSR-style bucket array, neighbor queries append into a
+// caller-provided scratch slice, each broadcast schedules a single pooled
+// simulator event carrying the surviving receiver list, and mobility models
+// are evaluated at most once per node per simulation instant via a position
+// memo.
 package radio
 
 import (
@@ -136,15 +143,33 @@ type Channel struct {
 	// nil means everyone is online.
 	offline []bool
 
-	// Spatial hash grid snapshot.
-	cellSize  float64
-	gridAt    float64
-	gridBuilt bool
-	cells     map[[2]int][]int
-	snapPos   []geo.Point
+	// Flat spatial grid snapshot: nodes bucketed by cell in a CSR layout
+	// over the bounding box of the snapshot positions. All buffers are
+	// reused across rebuilds.
+	cellSize           float64 // configured cell edge (= cfg.Range)
+	gridAt             float64
+	gridBuilt          bool
+	gridCell           float64 // effective cell edge of this snapshot
+	gridMinX, gridMinY float64 // grid origin, aligned to gridCell multiples
+	gridNX, gridNY     int
+	cellStart          []int32 // len gridNX*gridNY+1; bucket bounds in cellNodes
+	cellNodes          []int32 // node ids bucketed by cell, ascending per cell
+	snapPos            []geo.Point
+
+	// Per-instant position memo: each mobility model is evaluated at most
+	// once per simulation instant, however many queries hit it.
+	memoTime float64
+	memoGen  uint64
+	posGen   []uint64
+	posMemo  []geo.Point
+
+	// Broadcast scratch and the pooled per-frame delivery batches.
+	nbrScratch []int
+	batchFree  []*deliveryBatch
 
 	// Per-receiver in-flight receptions, used by the collision model.
 	inflight [][]*reception
+	recFree  []*reception
 
 	// Energy accounting (see energy.go).
 	energyTx, energyRx float64
@@ -154,6 +179,17 @@ type Channel struct {
 type reception struct {
 	start, end float64
 	corrupted  bool
+}
+
+// deliveryBatch carries one frame's surviving receivers from transmit time
+// to arrival time as a single pooled simulator event, instead of one
+// closure+event per (frame, receiver) pair.
+type deliveryBatch struct {
+	ch   *Channel
+	f    Frame
+	recv []int
+	recs []*reception // parallel to recv; non-empty only under collisions
+	fire func()       // pre-bound b.deliverAll, created once per batch
 }
 
 // New creates a channel over the given per-node mobility models. deliver is
@@ -176,7 +212,9 @@ func New(s *sim.Simulator, cfg Config, models []mobility.Model, deliver DeliverF
 		rnd:      rnd,
 		maxRange: cfg.Range,
 		cellSize: cfg.Range,
-		cells:    make(map[[2]int][]int),
+		memoGen:  1,
+		posGen:   make([]uint64, len(models)),
+		posMemo:  make([]geo.Point, len(models)),
 		snapPos:  make([]geo.Point, len(models)),
 		inflight: make([][]*reception, len(models)),
 	}
@@ -248,8 +286,21 @@ func (c *Channel) N() int { return len(c.models) }
 func (c *Channel) Stats() Stats { return c.stats }
 
 // PositionOf returns node i's exact position at the current simulation time.
+// Repeated queries within one simulation instant are served from a memo, so
+// each mobility model is evaluated at most once per instant.
 func (c *Channel) PositionOf(i int) geo.Point {
-	return c.models[i].Position(c.sim.Now())
+	now := c.sim.Now()
+	if now != c.memoTime {
+		c.memoTime = now
+		c.memoGen++
+	}
+	if c.posGen[i] == c.memoGen {
+		return c.posMemo[i]
+	}
+	p := c.models[i].Position(now)
+	c.posMemo[i] = p
+	c.posGen[i] = c.memoGen
+	return p
 }
 
 // VelocityOf returns node i's exact velocity at the current simulation time.
@@ -262,21 +313,89 @@ func (c *Channel) PositionAt(i int, t float64) geo.Point {
 	return c.models[i].Position(t)
 }
 
-func (c *Channel) cellOf(p geo.Point) [2]int {
-	return [2]int{int(math.Floor(p.X / c.cellSize)), int(math.Floor(p.Y / c.cellSize))}
-}
+// maxGridCells bounds the dense cell array. Fields vastly larger than the
+// population (e.g. far-flung trace files) double the effective cell size
+// until the array fits, trading a wider candidate window for bounded memory.
+const maxGridCells = 1 << 20
 
+// rebuildGrid rebuilds the CSR snapshot: a counting sort of node ids into
+// dense cells over the bounding box of the current positions. All buffers
+// are reused, so a rebuild is allocation-free after the first.
 func (c *Channel) rebuildGrid() {
 	now := c.sim.Now()
-	clear(c.cells)
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	for i, m := range c.models {
 		p := m.Position(now)
 		c.snapPos[i] = p
-		key := c.cellOf(p)
-		c.cells[key] = append(c.cells[key], i)
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
 	}
+	// Align the origin to cell-size multiples so bucket boundaries are
+	// independent of the bounding box (queries then visit nodes in the same
+	// order regardless of how the population drifts).
+	cs := c.cellSize
+	var nx, ny int
+	for {
+		ox := cs * math.Floor(minX/cs)
+		oy := cs * math.Floor(minY/cs)
+		nx = int(math.Floor((maxX-ox)/cs)) + 1
+		ny = int(math.Floor((maxY-oy)/cs)) + 1
+		if nx*ny <= maxGridCells || nx*ny <= 4*len(c.models) {
+			c.gridMinX, c.gridMinY = ox, oy
+			break
+		}
+		cs *= 2
+	}
+	c.gridCell = cs
+	c.gridNX, c.gridNY = nx, ny
+	ncells := nx * ny
+	if cap(c.cellStart) < ncells+1 {
+		c.cellStart = make([]int32, ncells+1)
+	}
+	c.cellStart = c.cellStart[:ncells+1]
+	for i := range c.cellStart {
+		c.cellStart[i] = 0
+	}
+	if cap(c.cellNodes) < len(c.models) {
+		c.cellNodes = make([]int32, len(c.models))
+	}
+	c.cellNodes = c.cellNodes[:len(c.models)]
+	// Counting sort: count per cell, prefix-sum, then place (ascending node
+	// id within each cell, matching the insertion order of the old map grid).
+	for i := range c.models {
+		c.cellStart[c.cellIndex(c.snapPos[i])+1]++
+	}
+	for i := 1; i < len(c.cellStart); i++ {
+		c.cellStart[i] += c.cellStart[i-1]
+	}
+	// cellStart now holds end offsets shifted by one slot; fill backwards
+	// from the running cursor in cellStart[cell] which starts at each
+	// bucket's beginning.
+	for i := range c.models {
+		cell := c.cellIndex(c.snapPos[i])
+		c.cellNodes[c.cellStart[cell]] = int32(i)
+		c.cellStart[cell]++
+	}
+	// Each cellStart[cell] has advanced to the bucket's end == start of the
+	// next bucket; shift right to restore start offsets.
+	copy(c.cellStart[1:], c.cellStart[:ncells])
+	c.cellStart[0] = 0
 	c.gridAt = now
 	c.gridBuilt = true
+}
+
+// cellIndex maps a snapshot position to its dense cell index (x-major).
+func (c *Channel) cellIndex(p geo.Point) int {
+	cx := int((p.X - c.gridMinX) / c.gridCell)
+	cy := int((p.Y - c.gridMinY) / c.gridCell)
+	if cx >= c.gridNX {
+		cx = c.gridNX - 1
+	}
+	if cy >= c.gridNY {
+		cy = c.gridNY - 1
+	}
+	return cx*c.gridNY + cy
 }
 
 // NeighborsOf returns every node j ≠ i within node i's transmission range at
@@ -284,13 +403,26 @@ func (c *Channel) rebuildGrid() {
 // pre-filters candidates, with a slack margin covering motion since the last
 // rebuild.
 func (c *Channel) NeighborsOf(i int) []int {
-	return c.NodesWithin(c.PositionOf(i), c.RangeOf(i), i)
+	return c.AppendNeighborsOf(nil, i)
+}
+
+// AppendNeighborsOf appends node i's neighbors to dst and returns the
+// extended slice, allocating only when dst lacks capacity.
+func (c *Channel) AppendNeighborsOf(dst []int, i int) []int {
+	return c.AppendNodesWithin(dst, c.PositionOf(i), c.RangeOf(i), i)
 }
 
 // NodesWithin returns every node within radius of center at the current
 // simulation time, excluding node exclude (pass a negative value to exclude
 // nobody).
 func (c *Channel) NodesWithin(center geo.Point, radius float64, exclude int) []int {
+	return c.AppendNodesWithin(nil, center, radius, exclude)
+}
+
+// AppendNodesWithin is NodesWithin appending into dst, the allocation-free
+// variant the broadcast hot path uses. Results are ordered by snapshot cell
+// (x-major) and ascending node id within a cell.
+func (c *Channel) AppendNodesWithin(dst []int, center geo.Point, radius float64, exclude int) []int {
 	now := c.sim.Now()
 	if !c.gridBuilt || now-c.gridAt >= c.cfg.GridRefresh {
 		c.rebuildGrid()
@@ -300,23 +432,39 @@ func (c *Channel) NodesWithin(center geo.Point, radius float64, exclude int) []i
 	// radius + slack and confirm with exact positions.
 	slack := c.cfg.MaxSpeed * (now - c.gridAt)
 	reach := radius + slack
-	span := int(math.Ceil(reach / c.cellSize))
-	cc := c.cellOf(center)
+	cs := c.gridCell
+	x0 := int(math.Floor((center.X - reach - c.gridMinX) / cs))
+	x1 := int(math.Floor((center.X + reach - c.gridMinX) / cs))
+	y0 := int(math.Floor((center.Y - reach - c.gridMinY) / cs))
+	y1 := int(math.Floor((center.Y + reach - c.gridMinY) / cs))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= c.gridNX {
+		x1 = c.gridNX - 1
+	}
+	if y1 >= c.gridNY {
+		y1 = c.gridNY - 1
+	}
 	r2 := radius * radius
-	var out []int
-	for dx := -span; dx <= span; dx++ {
-		for dy := -span; dy <= span; dy++ {
-			for _, j := range c.cells[[2]int{cc[0] + dx, cc[1] + dy}] {
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			base := cx*c.gridNY + cy
+			for _, j32 := range c.cellNodes[c.cellStart[base]:c.cellStart[base+1]] {
+				j := int(j32)
 				if j == exclude || !c.Online(j) {
 					continue
 				}
-				if c.models[j].Position(now).Dist2(center) <= r2 {
-					out = append(out, j)
+				if c.PositionOf(j).Dist2(center) <= r2 {
+					dst = append(dst, j)
 				}
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // airtime returns the serialization delay for a frame of the given size.
@@ -354,8 +502,10 @@ func (c *Channel) Broadcast(f Frame) {
 	if c.cfg.FadeZone > 0 {
 		senderPos = c.PositionOf(f.From)
 	}
-	neighbors := c.NeighborsOf(f.From)
-	for _, j := range neighbors {
+	c.nbrScratch = c.AppendNeighborsOf(c.nbrScratch[:0], f.From)
+	b := c.getBatch()
+	b.f = f
+	for _, j := range c.nbrScratch {
 		// The receiver's radio front-end pays for every frame that reaches
 		// it, even ones subsequently lost, faded or collided.
 		c.chargeRx(j, f.Bytes)
@@ -372,43 +522,96 @@ func (c *Channel) Broadcast(f Frame) {
 				}
 			}
 		}
-		var rec *reception
 		if c.cfg.Collisions {
-			rec = c.noteReception(j, start, end)
-			if rec == nil {
-				continue // already counted as collided
-			}
-		}
-		j := j
-		c.sim.Schedule(arrive, func() {
-			if rec != nil && rec.corrupted {
+			rec := c.noteReception(j, start, end)
+			if rec.corrupted {
+				// The frame overlaps one already in flight at j: dead on
+				// arrival, so count it now and never schedule it. (The
+				// earlier frame's reception is counted when it arrives.)
 				c.stats.Collided++
-				return
+				continue
 			}
-			if !c.Online(j) {
-				return // receiver powered down while the frame was in flight
-			}
-			c.stats.Deliveries++
-			c.deliver(j, f)
-		})
+			b.recs = append(b.recs, rec)
+		}
+		b.recv = append(b.recv, j)
 	}
+	if len(b.recv) == 0 {
+		c.putBatch(b)
+		return
+	}
+	// One pooled event delivers the whole frame: the receivers fire in
+	// scratch order at the same instant, exactly as the per-receiver events
+	// they replace would have (they held consecutive sequence numbers).
+	c.sim.SchedulePooled(arrive, b.fire)
+}
+
+// getBatch pops a delivery batch from the free list, or makes a new one
+// with its dispatch closure pre-bound so steady-state broadcasts allocate
+// nothing.
+func (c *Channel) getBatch() *deliveryBatch {
+	if n := len(c.batchFree); n > 0 {
+		b := c.batchFree[n-1]
+		c.batchFree[n-1] = nil
+		c.batchFree = c.batchFree[:n-1]
+		return b
+	}
+	b := &deliveryBatch{ch: c}
+	b.fire = b.deliverAll
+	return b
+}
+
+// putBatch clears a batch and returns it to the free list.
+func (c *Channel) putBatch(b *deliveryBatch) {
+	b.f = Frame{}
+	b.recv = b.recv[:0]
+	b.recs = b.recs[:0]
+	c.batchFree = append(c.batchFree, b)
+}
+
+// deliverAll hands the frame to every surviving receiver at arrival time.
+func (b *deliveryBatch) deliverAll() {
+	c := b.ch
+	for k, j := range b.recv {
+		if len(b.recs) > 0 && b.recs[k].corrupted {
+			c.stats.Collided++
+			continue
+		}
+		if !c.Online(j) {
+			continue // receiver powered down while the frame was in flight
+		}
+		c.stats.Deliveries++
+		c.deliver(j, b.f)
+	}
+	c.putBatch(b)
 }
 
 // noteReception registers an in-flight frame at receiver j and applies the
 // collision rule: any temporal overlap with another in-flight frame corrupts
-// both. It returns the reception record, or nil when the frame immediately
-// collides with one that has already been counted.
+// both. The returned record is corrupted immediately when the frame collides
+// with one already in flight.
 func (c *Channel) noteReception(j int, start, end float64) *reception {
 	now := c.sim.Now()
-	// Prune completed receptions.
+	// Prune completed receptions, recycling records whose delivery batch has
+	// provably fired (a batch fires at end+BaseLatency; anything later may
+	// still hold the pointer this instant).
 	live := c.inflight[j][:0]
 	for _, r := range c.inflight[j] {
 		if r.end > now {
 			live = append(live, r)
+		} else if r.end+c.cfg.BaseLatency < now {
+			c.recFree = append(c.recFree, r)
 		}
 	}
 	c.inflight[j] = live
-	rec := &reception{start: start, end: end}
+	var rec *reception
+	if n := len(c.recFree); n > 0 {
+		rec = c.recFree[n-1]
+		c.recFree[n-1] = nil
+		c.recFree = c.recFree[:n-1]
+		*rec = reception{start: start, end: end}
+	} else {
+		rec = &reception{start: start, end: end}
+	}
 	for _, r := range c.inflight[j] {
 		if r.start < end && start < r.end { // temporal overlap
 			r.corrupted = true
@@ -421,8 +624,7 @@ func (c *Channel) noteReception(j int, start, end float64) *reception {
 
 // DistanceBetween returns the exact distance between nodes i and j now.
 func (c *Channel) DistanceBetween(i, j int) float64 {
-	now := c.sim.Now()
-	return c.models[i].Position(now).Dist(c.models[j].Position(now))
+	return c.PositionOf(i).Dist(c.PositionOf(j))
 }
 
 // OverlapWith returns the fraction of node j's transmission disk covered by

@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimScheduleCancel measures the schedule→cancel churn pattern the
+// protocols generate (per-entry timers armed and torn down constantly).
+func BenchmarkSimScheduleCancel(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Schedule(s.Now()+1, fn)
+		s.Cancel(e)
+	}
+}
+
+// BenchmarkSimScheduleDispatch measures the schedule→dispatch cycle: one
+// event scheduled and fired per iteration.
+func BenchmarkSimScheduleDispatch(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(s.Now()+1, fn)
+		s.Run(s.Now() + 2)
+	}
+}
+
+// BenchmarkTicker measures a self-rescheduling periodic timer — the
+// per-peer gossip-round driver.
+func BenchmarkTicker(b *testing.B) {
+	s := New()
+	ticks := 0
+	tk := s.Every(1, 1, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(s.Now() + 1)
+	}
+	b.StopTimer()
+	tk.Stop()
+	if ticks == 0 {
+		b.Fatal("ticker never fired")
+	}
+}

@@ -22,6 +22,7 @@ type Event struct {
 	index  int // heap index, -1 when not queued
 	fn     func()
 	canned bool
+	pooled bool // recycled into the free list after dispatch
 }
 
 // Time returns the instant the event is (or was) scheduled for.
@@ -69,6 +70,7 @@ type Simulator struct {
 	queue      eventHeap
 	dispatched uint64
 	stopped    bool
+	free       []*Event // recycled pooled events (see SchedulePooled)
 }
 
 // New returns an empty simulator with the clock at 0.
@@ -105,6 +107,33 @@ func (s *Simulator) Schedule(at float64, fn func()) *Event {
 // After enqueues fn to run delay seconds from now. Negative delays panic.
 func (s *Simulator) After(delay float64, fn func()) *Event {
 	return s.Schedule(s.now+delay, fn)
+}
+
+// SchedulePooled enqueues fn at absolute time at, like Schedule, but draws
+// the event from an internal free list and recycles it after dispatch, so
+// steady-state scheduling is allocation-free. No handle is returned — the
+// event cannot be cancelled or rescheduled, and the caller must not retain
+// any reference to it. Timing and FIFO tie-breaking are identical to
+// Schedule.
+func (s *Simulator) SchedulePooled(at float64, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at invalid time %v", at))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.time, e.fn, e.canned = at, fn, false
+	} else {
+		e = &Event{time: at, fn: fn, pooled: true}
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
 }
 
 // Cancel removes a pending event from the queue. Cancelling an event that has
@@ -154,7 +183,12 @@ func (s *Simulator) Run(until float64) {
 		heap.Pop(&s.queue)
 		s.now = next.time
 		s.dispatched++
-		next.fn()
+		fn := next.fn
+		if next.pooled {
+			next.fn = nil // release the closure before it runs; recycle after
+			s.free = append(s.free, next)
+		}
+		fn()
 	}
 	if s.now < until && !math.IsInf(until, 1) {
 		s.now = until
@@ -195,7 +229,10 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.ev = t.sim.After(t.period, t.tick)
+		// Reuse the fired event instead of allocating a new one each period;
+		// Reschedule assigns a fresh sequence number, so FIFO tie-breaking is
+		// the same as scheduling anew.
+		t.sim.Reschedule(t.ev, t.sim.now+t.period)
 	}
 }
 

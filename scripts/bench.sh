@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench.sh — run the hot-path microbenchmarks plus the end-to-end Fig. 7
+# N=1000 sweep and write the results to BENCH_hotpath.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh            # default: -benchtime 2s micro, 3x end-to-end
+#   BENCHTIME=5s scripts/bench.sh
+#
+# The JSON schema is one object per benchmark:
+#   {"name": ..., "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}
+# (end-to-end entries omit the allocation columns — the harness does not
+# report them for sub-benchmarks that emit custom metrics only.)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="BENCH_hotpath.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> micro: internal/radio + internal/sim (-benchtime $BENCHTIME)" >&2
+go test -run '^$' -bench 'BenchmarkBroadcastDense$|BenchmarkBroadcastDenseCollisions$|BenchmarkNodesWithin' \
+    -benchtime "$BENCHTIME" ./internal/radio/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkSimScheduleCancel$|BenchmarkSimScheduleDispatch$|BenchmarkTicker$' \
+    -benchtime "$BENCHTIME" ./internal/sim/ | tee -a "$TMP" >&2
+
+echo "==> end-to-end: BenchmarkFig7NetworkSize N=1000 (-benchtime 3x)" >&2
+go test -run '^$' -bench 'BenchmarkFig7NetworkSize/.*/N=1000$' -benchtime 3x . | tee -a "$TMP" >&2
+
+awk '
+BEGIN { print "[" ; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) print ","
+    line = "  {\"name\": \"" name "\", \"ns_per_op\": " ns
+    if (bytes != "")  line = line ", \"bytes_per_op\": " bytes
+    if (allocs != "") line = line ", \"allocs_per_op\": " allocs
+    printf "%s}", line
+}
+END { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "==> wrote $OUT" >&2
