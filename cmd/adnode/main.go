@@ -7,6 +7,11 @@
 //	       -x 0 -y 0 -id 1
 //	adnode ... -issue "Unleaded \$1.45/L" -R 500 -D 180   # also issues an ad
 //
+// Observability: every -stats interval the daemon prints a one-line JSON
+// snapshot of its counters and per-peer send health, and it prints a final
+// snapshot on SIGINT/SIGTERM. With -http the same snapshot is published at
+// /debug/vars via expvar.
+//
 // Demo mode — a five-node chain on loopback in one process, showing a real
 // multi-hop delivery end to end:
 //
@@ -14,11 +19,15 @@
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"instantad/internal/core"
@@ -28,24 +37,26 @@ import (
 
 func main() {
 	var (
-		demo    = flag.Bool("demo", false, "run a five-node loopback demo and exit")
-		id      = flag.Uint("id", 1, "node identity")
-		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers   = flag.String("peers", "", "comma-separated peer addresses")
-		x       = flag.Float64("x", 0, "virtual position x, meters")
-		y       = flag.Float64("y", 0, "virtual position y, meters")
-		rng     = flag.Float64("range", 250, "virtual radio range, meters (0 = overlay)")
-		alpha   = flag.Float64("alpha", 0.5, "probability parameter α")
-		beta    = flag.Float64("beta", 0.5, "decay parameter β")
-		round   = flag.Duration("round", 5*time.Second, "gossip round Δt")
-		cacheK  = flag.Int("cache", 10, "cache capacity")
-		dis     = flag.Float64("dis", 0, "annulus width (enables mechanism 1)")
-		opt2    = flag.Bool("opt2", true, "enable overhearing postponement")
-		issue   = flag.String("issue", "", "issue an ad with this text after startup")
-		adR     = flag.Float64("R", 500, "issued ad radius, m")
-		adD     = flag.Float64("D", 180, "issued ad duration, s")
-		adCat   = flag.String("category", "petrol", "issued ad category")
-		verbose = flag.Bool("v", false, "log protocol events")
+		demo     = flag.Bool("demo", false, "run a five-node loopback demo and exit")
+		id       = flag.Uint("id", 1, "node identity")
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers    = flag.String("peers", "", "comma-separated peer addresses")
+		x        = flag.Float64("x", 0, "virtual position x, meters")
+		y        = flag.Float64("y", 0, "virtual position y, meters")
+		rng      = flag.Float64("range", 250, "virtual radio range, meters (0 = overlay)")
+		alpha    = flag.Float64("alpha", 0.5, "probability parameter α")
+		beta     = flag.Float64("beta", 0.5, "decay parameter β")
+		round    = flag.Duration("round", 5*time.Second, "gossip round Δt")
+		cacheK   = flag.Int("cache", 10, "cache capacity")
+		dis      = flag.Float64("dis", 0, "annulus width (enables mechanism 1)")
+		opt2     = flag.Bool("opt2", true, "enable overhearing postponement")
+		issue    = flag.String("issue", "", "issue an ad with this text after startup")
+		adR      = flag.Float64("R", 500, "issued ad radius, m")
+		adD      = flag.Float64("D", 180, "issued ad duration, s")
+		adCat    = flag.String("category", "petrol", "issued ad category")
+		statsInt = flag.Duration("stats", 10*time.Second, "interval between JSON stats snapshots (0 = quiet)")
+		httpAddr = flag.String("http", "", "serve expvar snapshots over HTTP at this address (e.g. 127.0.0.1:8500)")
+		verbose  = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
 
@@ -82,6 +93,16 @@ func main() {
 	fmt.Printf("node %d listening on %s at (%.0f, %.0f), range %.0f m\n",
 		*id, n.Addr(), *x, *y, *rng)
 
+	expvar.Publish("adnode", expvar.Func(func() any { return snapshotOf(n, uint32(*id)) }))
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "adnode: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("expvar stats at http://%s/debug/vars\n", *httpAddr)
+	}
+
 	if *issue != "" {
 		ad, err := n.Issue(core.AdSpec{R: *adR, D: *adD, Category: *adCat, Text: *issue})
 		fatalIf(err)
@@ -89,20 +110,53 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	ticker := time.NewTicker(10 * time.Second)
-	defer ticker.Stop()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *statsInt > 0 {
+		ticker := time.NewTicker(*statsInt)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-sig:
-			fmt.Printf("\nfinal stats: %+v\n", n.Stats())
+			dumpStats(n, uint32(*id))
 			return
-		case <-ticker.C:
-			st := n.Stats()
-			fmt.Printf("cached=%d sent=%d received=%d dup=%d\n",
-				len(n.Cached()), st.Sent, st.Received, st.Duplicates)
+		case <-tick:
+			dumpStats(n, uint32(*id))
 		}
 	}
+}
+
+// snapshot is the JSON observability surface: the node's counters plus
+// per-peer send health, stamped with identity and time.
+type snapshot struct {
+	Node   uint32            `json:"node"`
+	Addr   string            `json:"addr"`
+	Time   string            `json:"time"`
+	Cached int               `json:"cached"`
+	Stats  node.Stats        `json:"stats"`
+	Peers  []node.PeerHealth `json:"peers"`
+}
+
+func snapshotOf(n *node.Node, id uint32) snapshot {
+	return snapshot{
+		Node:   id,
+		Addr:   n.Addr(),
+		Time:   time.Now().UTC().Format(time.RFC3339),
+		Cached: len(n.Cached()),
+		Stats:  n.Stats(),
+		Peers:  n.Peers(),
+	}
+}
+
+func dumpStats(n *node.Node, id uint32) {
+	out, err := json.Marshal(snapshotOf(n, id))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adnode: stats: %v\n", err)
+		return
+	}
+	fmt.Println(string(out))
 }
 
 // runDemo spins a five-node chain, issues an ad at one end and reports when

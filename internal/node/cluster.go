@@ -101,6 +101,29 @@ func (c *Cluster) TotalSent() uint64 {
 	return total
 }
 
+// TotalStats sums every node's counters (gauges included) — the cluster-wide
+// view the soak tests and demos assert on.
+func (c *Cluster) TotalStats() Stats {
+	var t Stats
+	for _, n := range c.Nodes {
+		s := n.Stats()
+		t.Sent += s.Sent
+		t.Broadcasts += s.Broadcasts
+		t.Received += s.Received
+		t.OutOfRange += s.OutOfRange
+		t.Malformed += s.Malformed
+		t.Duplicates += s.Duplicates
+		t.Expired += s.Expired
+		t.ReadErrors += s.ReadErrors
+		t.SendErrors += s.SendErrors
+		t.SeenPruned += s.SeenPruned
+		t.PeerBackoffs += s.PeerBackoffs
+		t.SeenLive += s.SeenLive
+		t.PeersLive += s.PeersLive
+	}
+	return t
+}
+
 // ChainConfigs is a convenience for the canonical demo topology: n nodes in
 // a line, spacing meters apart, with the given radio range and round time.
 func ChainConfigs(n int, spacing, radioRange float64, round time.Duration) []Config {

@@ -25,8 +25,12 @@ const (
 	envVersion = 1
 	// envHeaderLen is magic+version+sender(4)+pos(16)+vel(16).
 	envHeaderLen = 2 + 4 + 32
-	// maxDatagram bounds accepted packets.
+	// maxDatagram sizes the receive buffer.
 	maxDatagram = 64 * 1024
+	// maxPayload is the largest UDP payload (65535 minus the 8-byte UDP and
+	// 20-byte IPv4 headers). Frames beyond it cannot traverse a real socket,
+	// so encode refuses to build them and decode refuses to accept them.
+	maxPayload = 65507
 )
 
 // envelope is the datagram frame: sender identity and kinematics plus one
@@ -50,13 +54,20 @@ func (e *envelope) encode() ([]byte, error) {
 	for _, v := range []float64{e.Pos.X, e.Pos.Y, e.Vel.X, e.Vel.Y} {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
 	}
-	return append(out, adBytes...), nil
+	out = append(out, adBytes...)
+	if len(out) > maxPayload {
+		return nil, fmt.Errorf("node: envelope of %d bytes exceeds the %d-byte datagram limit", len(out), maxPayload)
+	}
+	return out, nil
 }
 
 // decodeEnvelope parses a datagram.
 func decodeEnvelope(data []byte) (*envelope, error) {
 	if len(data) < envHeaderLen+1 {
 		return nil, errors.New("node: datagram too short")
+	}
+	if len(data) > maxPayload {
+		return nil, errors.New("node: datagram too long")
 	}
 	if data[0] != envMagic {
 		return nil, errors.New("node: bad magic")

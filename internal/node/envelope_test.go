@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"instantad/internal/ads"
+	"instantad/internal/fm"
 	"instantad/internal/geo"
+	"instantad/internal/rng"
 )
 
 func sampleEnvelope() *envelope {
@@ -62,12 +64,112 @@ func TestEnvelopeDecodeErrors(t *testing.T) {
 	}
 }
 
-// FuzzDecodeEnvelope hardens the datagram parser.
+// randomEnvelope draws an arbitrary but valid envelope from the stream:
+// random kinematics, keyword sets, payload sizes, and an optional populated
+// sketch.
+func randomEnvelope(r *rng.Stream) *envelope {
+	ad := &ads.Advertisement{
+		ID:       ads.ID{Issuer: uint32(r.Uint64()), Seq: uint32(r.Uint64())},
+		Origin:   geo.Point{X: r.Range(-1e6, 1e6), Y: r.Range(-1e6, 1e6)},
+		IssuedAt: r.Range(0, 1e6),
+		R:        r.Range(1e-3, 1e5),
+		D:        r.Range(1e-3, 1e6),
+		Category: "cat-"[:1+r.Intn(4)],
+		Text:     string(make([]byte, r.Intn(512))),
+	}
+	for i, nk := 0, r.Intn(5); i < nk; i++ {
+		ad.Keywords = append(ad.Keywords, "kw-"[:1+r.Intn(3)])
+	}
+	if r.Bool(0.5) {
+		ad.Sketch = fm.New(4+r.Intn(8), 16+r.Intn(16), r.Uint64())
+		for i, adds := 0, r.Intn(20); i < adds; i++ {
+			ad.Sketch.Add(r.Uint64())
+		}
+	}
+	return &envelope{
+		Sender: uint32(r.Uint64()),
+		Pos:    geo.Point{X: r.Range(-1e6, 1e6), Y: r.Range(-1e6, 1e6)},
+		Vel:    geo.Vec{X: r.Range(-100, 100), Y: r.Range(-100, 100)},
+		Ad:     ad,
+	}
+}
+
+// TestEnvelopeRoundtripProperty drives the codec across a few hundred
+// randomized envelopes: every encode must decode back to a deeply equal
+// value, and the frame length must match header + ad exactly.
+func TestEnvelopeRoundtripProperty(t *testing.T) {
+	r := rng.New(20260805)
+	for i := 0; i < 300; i++ {
+		e := randomEnvelope(r)
+		data, err := e.encode()
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if want := envHeaderLen + e.Ad.WireSize(); len(data) != want {
+			t.Fatalf("case %d: frame is %d bytes, want %d", i, len(data), want)
+		}
+		d, err := decodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if d.Sender != e.Sender || d.Pos != e.Pos || d.Vel != e.Vel {
+			t.Fatalf("case %d: header mismatch: %+v vs %+v", i, d, e)
+		}
+		if !reflect.DeepEqual(d.Ad, e.Ad) {
+			t.Fatalf("case %d: ad mismatch: %+v vs %+v", i, d.Ad, e.Ad)
+		}
+	}
+}
+
+// TestEnvelopeEncodeRejectsOversized checks the encoder refuses frames no
+// real UDP socket could carry: a maximal 64 KiB ad text passes ad-level
+// validation but overflows the 65507-byte datagram payload.
+func TestEnvelopeEncodeRejectsOversized(t *testing.T) {
+	e := sampleEnvelope()
+	e.Ad.Text = string(make([]byte, 64*1024))
+	if _, err := e.encode(); err == nil {
+		t.Error("oversized envelope encoded")
+	}
+	if _, err := e.Ad.Encode(); err != nil {
+		t.Fatalf("the ad alone should be valid: %v", err)
+	}
+}
+
+// oversizedAdFrame builds a datagram whose ad claims a text far past the
+// frame's end — the truncated/oversized-ad shape the fuzzer must keep
+// rejecting.
+func oversizedAdFrame() []byte {
+	frame := make([]byte, 0, envHeaderLen+64)
+	frame = append(frame, envMagic, envVersion)
+	frame = append(frame, make([]byte, envHeaderLen-2)...) // sender + kinematics, all zero
+	frame = append(frame, 0xAD, 1)                         // ad magic + version
+	frame = append(frame, make([]byte, 48)...)             // id + origin + times
+	frame = append(frame, 0)                               // empty category
+	frame = append(frame, 0)                               // no keywords
+	frame = append(frame, 0xFF, 0xFF, 0xFF, 0x7F)          // text length ≈ 256 MiB
+	return frame
+}
+
+// FuzzDecodeEnvelope hardens the datagram parser. The corpus seeds the
+// interesting shapes by hand: valid frames (with and without a sketch),
+// truncated headers at every boundary, and an ad whose claimed payload
+// length dwarfs the datagram.
 func FuzzDecodeEnvelope(f *testing.F) {
 	good, _ := sampleEnvelope().encode()
+	withSketch := sampleEnvelope()
+	withSketch.Ad.Sketch = fm.New(8, 32, 7)
+	withSketch.Ad.Sketch.Add(12345)
+	goodSketch, _ := withSketch.encode()
 	f.Add(good)
+	f.Add(goodSketch)
 	f.Add([]byte{})
+	f.Add(good[:1])
+	f.Add(good[:6])
+	f.Add(good[:envHeaderLen-1])
 	f.Add(good[:envHeaderLen])
+	f.Add(good[:envHeaderLen+1])
+	f.Add(good[:len(good)-1])
+	f.Add(oversizedAdFrame())
 	f.Fuzz(func(t *testing.T, in []byte) {
 		e, err := decodeEnvelope(in)
 		if err != nil {

@@ -1,0 +1,174 @@
+package node
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// proxyRig is a client socket → FaultProxy → receiver socket chain.
+type proxyRig struct {
+	client   *net.UDPConn
+	proxy    *FaultProxy
+	receiver *net.UDPConn
+}
+
+func newProxyRig(t *testing.T, cfg FaultConfig) *proxyRig {
+	t.Helper()
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewFaultProxy(recv.LocalAddr().String(), cfg)
+	if err != nil {
+		recv.Close()
+		t.Fatal(err)
+	}
+	client, err := netDial(proxy.Addr())
+	if err != nil {
+		recv.Close()
+		proxy.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		_ = proxy.Close()
+		recv.Close()
+	})
+	return &proxyRig{client: client, proxy: proxy, receiver: recv}
+}
+
+// recvAll drains the receiver until it stays quiet for the given window.
+func (r *proxyRig) recvAll(t *testing.T, quiet time.Duration) [][]byte {
+	t.Helper()
+	var out [][]byte
+	buf := make([]byte, maxDatagram)
+	for {
+		_ = r.receiver.SetReadDeadline(time.Now().Add(quiet))
+		n, _, err := r.receiver.ReadFromUDP(buf)
+		if err != nil {
+			return out
+		}
+		out = append(out, append([]byte(nil), buf[:n]...))
+	}
+}
+
+func TestFaultProxyCleanForward(t *testing.T) {
+	rig := newProxyRig(t, FaultConfig{Seed: 1})
+	payload := []byte("hello through the proxy")
+	for i := 0; i < 3; i++ {
+		if _, err := rig.client.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rig.recvAll(t, 300*time.Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("received %d datagrams, want 3", len(got))
+	}
+	for _, g := range got {
+		if !bytes.Equal(g, payload) {
+			t.Errorf("payload corrupted: %q", g)
+		}
+	}
+	st := rig.proxy.Stats()
+	if st.Received != 3 || st.Forwarded != 3 || st.Dropped != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFaultProxyDropAll(t *testing.T) {
+	rig := newProxyRig(t, FaultConfig{Drop: 1, Seed: 2})
+	for i := 0; i < 5; i++ {
+		if _, err := rig.client.Write([]byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rig.recvAll(t, 200*time.Millisecond); len(got) != 0 {
+		t.Fatalf("received %d datagrams through a 100%% lossy link", len(got))
+	}
+	if st := rig.proxy.Stats(); st.Dropped != 5 || st.Forwarded != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFaultProxyTruncateAndDuplicate(t *testing.T) {
+	rig := newProxyRig(t, FaultConfig{Truncate: 1, Duplicate: 1, Seed: 3})
+	payload := []byte("a reasonably long datagram payload")
+	if _, err := rig.client.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := rig.recvAll(t, 300*time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("received %d datagrams, want duplicated pair", len(got))
+	}
+	for _, g := range got {
+		if len(g) >= len(payload) {
+			t.Errorf("datagram not truncated: %d bytes", len(g))
+		}
+		if !bytes.Equal(g, payload[:len(g)]) {
+			t.Errorf("truncation is not a prefix: %q", g)
+		}
+	}
+	if st := rig.proxy.Stats(); st.Truncated != 1 || st.Duplicated != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFaultProxyGarbageInjection(t *testing.T) {
+	rig := newProxyRig(t, FaultConfig{Garbage: 1, Drop: 1, Seed: 4})
+	for i := 0; i < 4; i++ {
+		if _, err := rig.client.Write([]byte("real traffic, all dropped")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rig.recvAll(t, 300*time.Millisecond)
+	if len(got) != 4 {
+		t.Fatalf("received %d junk datagrams, want 4", len(got))
+	}
+	if st := rig.proxy.Stats(); st.Garbage != 4 || st.Forwarded != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFaultProxyReorderDelays(t *testing.T) {
+	const delay = 80 * time.Millisecond
+	rig := newProxyRig(t, FaultConfig{Reorder: 1, ReorderDelay: delay, Seed: 5})
+	start := time.Now()
+	if _, err := rig.client.Write([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	_ = rig.receiver.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := rig.receiver.ReadFromUDP(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay/2 {
+		t.Errorf("reordered datagram arrived after only %v", elapsed)
+	}
+	if st := rig.proxy.Stats(); st.Reordered != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFaultProxyValidation(t *testing.T) {
+	if _, err := NewFaultProxy("127.0.0.1:1", FaultConfig{Drop: 1.5}); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	if _, err := NewFaultProxy("127.0.0.1:1", FaultConfig{ReorderDelay: -time.Second}); err == nil {
+		t.Error("negative reorder delay accepted")
+	}
+	if _, err := NewFaultProxy("not::an::addr", FaultConfig{}); err == nil {
+		t.Error("bad destination accepted")
+	}
+}
+
+func TestFaultProxyCloseIdempotent(t *testing.T) {
+	rig := newProxyRig(t, FaultConfig{Seed: 6})
+	if err := rig.proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.proxy.Close(); err != nil {
+		t.Errorf("second close errored: %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instantad/internal/ads"
@@ -55,6 +57,15 @@ type Config struct {
 	Popularity core.PopularityConfig
 	// Interests are the node's interest keywords for ad matching.
 	Interests []string
+	// PeerFailLimit is the number of consecutive send failures after which
+	// a peer enters timed backoff, so one dead address cannot burn a
+	// syscall every gossip round. Zero means the default (3).
+	PeerFailLimit int
+	// PeerBackoffBase and PeerBackoffMax bound the exponential per-peer
+	// backoff window: the first backoff lasts PeerBackoffBase and doubles
+	// on each subsequent trip up to PeerBackoffMax. Zero means the
+	// defaults (500ms and 30s).
+	PeerBackoffBase, PeerBackoffMax time.Duration
 	// Logf, when non-nil, receives debug lines.
 	Logf func(format string, args ...any)
 }
@@ -79,39 +90,119 @@ func (c Config) validate() error {
 	if c.Range < 0 || c.DIS < 0 {
 		return fmt.Errorf("node: negative range or DIS")
 	}
+	if c.PeerFailLimit < 0 {
+		return fmt.Errorf("node: negative peer fail limit %d", c.PeerFailLimit)
+	}
+	if c.PeerBackoffBase < 0 || c.PeerBackoffMax < 0 {
+		return fmt.Errorf("node: negative peer backoff")
+	}
 	return nil
+}
+
+// packetConn is the slice of *net.UDPConn the node uses. It exists so tests
+// can inject failing or scripted sockets to exercise the error paths.
+type packetConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	Close() error
+	LocalAddr() net.Addr
+}
+
+// peerState is one datagram destination plus its send-health bookkeeping.
+// All fields are guarded by Node.mu.
+type peerState struct {
+	addr *net.UDPAddr
+	key  string // canonical addr string, the RemovePeer / health identity
+
+	sent         uint64 // datagrams delivered to the socket
+	failures     uint64 // total send failures
+	consecFails  int    // failures since the last success
+	backoffUntil time.Time
+	nextBackoff  time.Duration
+}
+
+// PeerHealth is a point-in-time snapshot of one peer's send health.
+type PeerHealth struct {
+	Addr        string `json:"addr"`
+	Sent        uint64 `json:"sent"`
+	Failures    uint64 `json:"failures"`
+	ConsecFails int    `json:"consec_fails"`
+	InBackoff   bool   `json:"in_backoff"`
 }
 
 // Node is one live protocol participant.
 type Node struct {
 	cfg    Config
 	params core.ProbParams
-	conn   *net.UDPConn
-	peers  []*net.UDPAddr
+	conn   packetConn
+
+	failLimit   int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	// readBackoffMin/Max bound the delay applied after transient socket
+	// read errors (overridden by tests for speed).
+	readBackoffMin time.Duration
+	readBackoffMax time.Duration
 
 	mu        sync.Mutex
 	cache     *ads.Cache
-	seen      map[ads.ID]bool
+	seen      map[ads.ID]float64 // ad ID → protocol-time expiry of that ad
+	nextPrune float64            // protocol time of the next seen-set sweep
+	peers     []*peerState
 	interests map[string]bool
 	rnd       *rng.Stream
 	nextSeq   uint32
 	epoch     time.Time // protocol time zero: ages are seconds since epoch
 
-	stats   Stats
-	done    chan struct{}
-	wg      sync.WaitGroup
-	started bool
+	ctr       counters
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
+	started   bool
 }
 
-// Stats counts a live node's activity.
-type Stats struct {
-	Sent       uint64 // datagrams transmitted (per peer destination)
-	Broadcasts uint64 // gossip decisions that fired (one per ad broadcast)
-	Received   uint64 // envelopes accepted
-	OutOfRange uint64 // envelopes dropped by the virtual radio
-	Malformed  uint64 // undecodable datagrams
-	Duplicates uint64 // envelopes for ads already cached
+// counters hold the node's activity counts as atomics so the hot paths never
+// take the state lock just to count.
+type counters struct {
+	sent         atomic.Uint64
+	broadcasts   atomic.Uint64
+	received     atomic.Uint64
+	outOfRange   atomic.Uint64
+	malformed    atomic.Uint64
+	duplicates   atomic.Uint64
+	expired      atomic.Uint64
+	readErrors   atomic.Uint64
+	sendErrors   atomic.Uint64
+	seenPruned   atomic.Uint64
+	peerBackoffs atomic.Uint64
 }
+
+// Stats is a snapshot of a live node's activity.
+type Stats struct {
+	Sent         uint64 `json:"sent"`          // datagrams transmitted (per peer destination)
+	Broadcasts   uint64 `json:"broadcasts"`    // gossip decisions that fired (one per ad broadcast)
+	Received     uint64 `json:"received"`      // envelopes accepted
+	OutOfRange   uint64 `json:"out_of_range"`  // envelopes dropped by the virtual radio
+	Malformed    uint64 `json:"malformed"`     // undecodable datagrams
+	Duplicates   uint64 `json:"duplicates"`    // envelopes for ads already cached
+	Expired      uint64 `json:"expired"`       // envelopes dropped because the ad had expired
+	ReadErrors   uint64 `json:"read_errors"`   // transient socket read failures survived via backoff
+	SendErrors   uint64 `json:"send_errors"`   // failed datagram transmissions
+	SeenPruned   uint64 `json:"seen_pruned"`   // expired IDs swept from the dedup set
+	PeerBackoffs uint64 `json:"peer_backoffs"` // times a peer entered timed backoff
+	SeenLive     uint64 `json:"seen_live"`     // gauge: current dedup-set size (O(live ads))
+	PeersLive    uint64 `json:"peers_live"`    // gauge: peers currently not in backoff
+}
+
+const (
+	defaultPeerFailLimit   = 3
+	defaultPeerBackoffBase = 500 * time.Millisecond
+	defaultPeerBackoffMax  = 30 * time.Second
+	defaultReadBackoffMin  = 5 * time.Millisecond
+	defaultReadBackoffMax  = time.Second
+)
 
 // New binds the node's socket. Call Start to begin gossiping and Close to
 // shut down.
@@ -128,15 +219,32 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 	n := &Node{
-		cfg:       cfg,
-		params:    core.ProbParams{Alpha: cfg.Alpha, Beta: cfg.Beta},
-		conn:      conn,
-		cache:     ads.NewCache(cfg.CacheK),
-		seen:      make(map[ads.ID]bool),
-		interests: make(map[string]bool, len(cfg.Interests)),
-		rnd:       rng.New(cfg.Seed),
-		epoch:     time.Now(),
-		done:      make(chan struct{}),
+		cfg:            cfg,
+		params:         core.ProbParams{Alpha: cfg.Alpha, Beta: cfg.Beta},
+		conn:           conn,
+		failLimit:      cfg.PeerFailLimit,
+		backoffBase:    cfg.PeerBackoffBase,
+		backoffMax:     cfg.PeerBackoffMax,
+		readBackoffMin: defaultReadBackoffMin,
+		readBackoffMax: defaultReadBackoffMax,
+		cache:          ads.NewCache(cfg.CacheK),
+		seen:           make(map[ads.ID]float64),
+		interests:      make(map[string]bool, len(cfg.Interests)),
+		rnd:            rng.New(cfg.Seed),
+		epoch:          time.Now(),
+		done:           make(chan struct{}),
+	}
+	if n.failLimit == 0 {
+		n.failLimit = defaultPeerFailLimit
+	}
+	if n.backoffBase == 0 {
+		n.backoffBase = defaultPeerBackoffBase
+	}
+	if n.backoffMax == 0 {
+		n.backoffMax = defaultPeerBackoffMax
+	}
+	if n.backoffMax < n.backoffBase {
+		n.backoffMax = n.backoffBase
 	}
 	for _, k := range cfg.Interests {
 		n.interests[k] = true
@@ -147,7 +255,7 @@ func New(cfg Config) (*Node, error) {
 			conn.Close()
 			return nil, fmt.Errorf("node: peer %q: %w", p, err)
 		}
-		n.peers = append(n.peers, addr)
+		n.peers = append(n.peers, &peerState{addr: addr, key: addr.String()})
 	}
 	return n, nil
 }
@@ -163,8 +271,49 @@ func (n *Node) AddPeer(addr string) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.peers = append(n.peers, a)
+	n.peers = append(n.peers, &peerState{addr: a, key: a.String()})
 	return nil
+}
+
+// RemovePeer drops a datagram destination at runtime, reporting whether a
+// matching peer existed. The address is matched by its resolved canonical
+// form, so "localhost:7001" removes a peer added as "127.0.0.1:7001".
+func (n *Node) RemovePeer(addr string) bool {
+	key := addr
+	if a, err := net.ResolveUDPAddr("udp", addr); err == nil {
+		key = a.String()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.peers[:0]
+	removed := false
+	for _, p := range n.peers {
+		if p.key == key {
+			removed = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	n.peers = kept
+	return removed
+}
+
+// Peers returns a snapshot of every peer's send health.
+func (n *Node) Peers() []PeerHealth {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerHealth, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, PeerHealth{
+			Addr:        p.key,
+			Sent:        p.sent,
+			Failures:    p.failures,
+			ConsecFails: p.consecFails,
+			InBackoff:   p.backoffUntil.After(now),
+		})
+	}
+	return out
 }
 
 // Start launches the receive loop and the gossip scheduler.
@@ -181,17 +330,26 @@ func (n *Node) Start() {
 	go n.gossipLoop()
 }
 
-// Close stops the node and releases the socket.
+// Close stops the node and releases the socket. It is idempotent and safe to
+// call from any number of goroutines concurrently; every call returns the
+// same result.
 func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.closeErr = n.conn.Close()
+		n.wg.Wait()
+	})
+	return n.closeErr
+}
+
+// closed reports whether shutdown has begun.
+func (n *Node) closed() bool {
 	select {
 	case <-n.done:
-		return nil // already closed
+		return true
 	default:
+		return false
 	}
-	close(n.done)
-	err := n.conn.Close()
-	n.wg.Wait()
-	return err
 }
 
 // now returns the protocol clock: seconds since the node's epoch. Ads issued
@@ -213,6 +371,12 @@ func (n *Node) SetEpoch(t time.Time) {
 func (n *Node) Issue(spec core.AdSpec) (*ads.Advertisement, error) {
 	pos, _ := n.cfg.Position(time.Now())
 	n.mu.Lock()
+	// A hostile or buggy peer may have flooded forged ads under our issuer
+	// identity; skip any sequence number already occupied so the cache
+	// insert below cannot collide (and panic).
+	for n.cache.Get(ads.ID{Issuer: n.cfg.ID, Seq: n.nextSeq}) != nil {
+		n.nextSeq++
+	}
 	ad := &ads.Advertisement{
 		ID:       ads.ID{Issuer: n.cfg.ID, Seq: n.nextSeq},
 		Origin:   pos,
@@ -238,7 +402,7 @@ func (n *Node) Issue(spec core.AdSpec) (*ads.Advertisement, error) {
 		}
 		ad.Sketch = fm.New(pc.F, pc.L, pc.SketchSeed)
 	}
-	n.seen[ad.ID] = true
+	n.markSeenLocked(ad)
 	own := ad.Clone()
 	n.applyPopularityLocked(own)
 	e, overflow := n.cache.Insert(own, n.forwardProbLocked(own, pos))
@@ -246,16 +410,59 @@ func (n *Node) Issue(spec core.AdSpec) (*ads.Advertisement, error) {
 	if overflow {
 		n.evictLocked()
 	}
+	// Clone before releasing the lock: the cached entry (own) may be
+	// mutated by handle merging duplicates the moment mu drops, and
+	// broadcast reads the ad outside the lock. fireDue clones for the same
+	// reason.
+	wire := own.Clone()
 	n.mu.Unlock()
-	n.broadcast(own)
+	n.broadcast(wire)
 	return ad, nil
 }
 
-// Has reports whether the node has ever heard the given ad.
+// markSeenLocked records the ad in the dedup set, keyed to the ad's expiry
+// on the protocol clock so the sweep in pruneSeenLocked can bound the set by
+// the live-ad population. Duplicates may carry an enlarged D; keep the
+// latest expiry. Callers hold n.mu.
+func (n *Node) markSeenLocked(ad *ads.Advertisement) {
+	exp := ad.IssuedAt + ad.D
+	if old, ok := n.seen[ad.ID]; !ok || exp > old {
+		n.seen[ad.ID] = exp
+	}
+}
+
+// pruneSeenLocked sweeps expired IDs out of the dedup set at most once per
+// gossip round, keeping it O(live ads) instead of O(all ads ever heard).
+// One round of grace keeps straggler duplicates of a just-expired ad cheap
+// (they are dropped by the expiry check either way). Callers hold n.mu.
+func (n *Node) pruneSeenLocked(now float64) {
+	if now < n.nextPrune {
+		return
+	}
+	round := n.cfg.RoundTime.Seconds()
+	n.nextPrune = now + round
+	for id, exp := range n.seen {
+		if exp+round < now {
+			delete(n.seen, id)
+			n.ctr.seenPruned.Add(1)
+		}
+	}
+}
+
+// Has reports whether the node has heard the given ad and the ad is still
+// live: expired IDs are eventually swept from the dedup set.
 func (n *Node) Has(id ads.ID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.seen[id]
+	_, ok := n.seen[id]
+	return ok
+}
+
+// SeenSize returns the current size of the dedup set (the SeenLive gauge).
+func (n *Node) SeenSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.seen)
 }
 
 // Cached returns copies of the currently cached ads.
@@ -269,11 +476,31 @@ func (n *Node) Cached() []*ads.Advertisement {
 	return out
 }
 
-// Stats returns a copy of the node's counters.
+// Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
+	s := Stats{
+		Sent:         n.ctr.sent.Load(),
+		Broadcasts:   n.ctr.broadcasts.Load(),
+		Received:     n.ctr.received.Load(),
+		OutOfRange:   n.ctr.outOfRange.Load(),
+		Malformed:    n.ctr.malformed.Load(),
+		Duplicates:   n.ctr.duplicates.Load(),
+		Expired:      n.ctr.expired.Load(),
+		ReadErrors:   n.ctr.readErrors.Load(),
+		SendErrors:   n.ctr.sendErrors.Load(),
+		SeenPruned:   n.ctr.seenPruned.Load(),
+		PeerBackoffs: n.ctr.peerBackoffs.Load(),
+	}
+	now := time.Now()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	s.SeenLive = uint64(len(n.seen))
+	for _, p := range n.peers {
+		if !p.backoffUntil.After(now) {
+			s.PeersLive++
+		}
+	}
+	n.mu.Unlock()
+	return s
 }
 
 // forwardProbLocked evaluates the configured probability function. Callers
@@ -296,26 +523,41 @@ func (n *Node) evictLocked() {
 	n.cache.EvictLowest()
 }
 
-// readLoop receives, filters and integrates envelopes.
+// readLoop receives, filters and integrates envelopes. Read errors are
+// classified: a closed socket ends the loop, anything else is treated as
+// transient and retried under capped exponential backoff so a persistent
+// socket fault cannot hot-spin a core or flood the log.
 func (n *Node) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, maxDatagram)
+	var backoff time.Duration
 	for {
 		nb, _, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
+			if n.closed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			n.ctr.readErrors.Add(1)
+			if backoff == 0 {
+				backoff = n.readBackoffMin
+			} else {
+				backoff *= 2
+				if backoff > n.readBackoffMax {
+					backoff = n.readBackoffMax
+				}
+			}
+			n.logf("read error (retry in %v): %v", backoff, err)
 			select {
 			case <-n.done:
 				return
-			default:
-				n.logf("read error: %v", err)
-				continue
+			case <-time.After(backoff):
 			}
+			continue
 		}
+		backoff = 0
 		env, err := decodeEnvelope(buf[:nb])
 		if err != nil {
-			n.mu.Lock()
-			n.stats.Malformed++
-			n.mu.Unlock()
+			n.ctr.malformed.Add(1)
 			continue
 		}
 		n.handle(env)
@@ -326,26 +568,26 @@ func (n *Node) readLoop() {
 func (n *Node) handle(env *envelope) {
 	pos, vel := n.cfg.Position(time.Now())
 	if n.cfg.Range > 0 && pos.Dist(env.Pos) > n.cfg.Range {
-		n.mu.Lock()
-		n.stats.OutOfRange++
-		n.mu.Unlock()
+		n.ctr.outOfRange.Add(1)
 		return
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	now := n.now()
 	if env.Ad.Expired(now) {
+		n.ctr.expired.Add(1)
 		return
 	}
-	n.stats.Received++
-	n.seen[env.Ad.ID] = true
+	n.ctr.received.Add(1)
+	n.markSeenLocked(env.Ad)
 	if e := n.cache.Get(env.Ad.ID); e != nil {
-		n.stats.Duplicates++
+		n.ctr.duplicates.Add(1)
 		if env.Ad.R > e.Ad.R {
 			e.Ad.R = env.Ad.R
 		}
 		if env.Ad.D > e.Ad.D {
 			e.Ad.D = env.Ad.D
+			n.markSeenLocked(e.Ad)
 		}
 		if e.Ad.Sketch != nil && env.Ad.Sketch != nil {
 			_ = e.Ad.Sketch.Merge(env.Ad.Sketch)
@@ -406,7 +648,8 @@ func (n *Node) gossipLoop() {
 	}
 }
 
-// fireDue broadcasts every cached ad whose scheduled time has arrived.
+// fireDue broadcasts every cached ad whose scheduled time has arrived, and
+// piggybacks the periodic expired-state sweep.
 func (n *Node) fireDue() {
 	pos, _ := n.cfg.Position(time.Now())
 	var toSend []*ads.Advertisement
@@ -415,6 +658,7 @@ func (n *Node) fireDue() {
 	for _, e := range n.cache.RemoveExpired(now) {
 		_ = e // expired ads just vanish
 	}
+	n.pruneSeenLocked(now)
 	for _, e := range n.cache.Entries() {
 		if e.ScheduledAt > now {
 			continue
@@ -431,7 +675,9 @@ func (n *Node) fireDue() {
 	}
 }
 
-// broadcast sends one ad to every peer destination.
+// broadcast sends one ad to every peer destination that is not in backoff.
+// The ad must be private to the caller (a clone), never a pointer still
+// reachable from the cache: encoding happens outside n.mu.
 func (n *Node) broadcast(ad *ads.Advertisement) {
 	pos, vel := n.cfg.Position(time.Now())
 	env := envelope{Sender: n.cfg.ID, Pos: pos, Vel: vel, Ad: ad}
@@ -440,19 +686,64 @@ func (n *Node) broadcast(ad *ads.Advertisement) {
 		n.logf("encode: %v", err)
 		return
 	}
+	now := time.Now()
 	n.mu.Lock()
-	peers := append([]*net.UDPAddr(nil), n.peers...)
-	n.stats.Broadcasts++
-	n.mu.Unlock()
-	for _, peer := range peers {
-		if _, err := n.conn.WriteToUDP(data, peer); err != nil {
-			n.logf("send to %v: %v", peer, err)
+	targets := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.backoffUntil.After(now) {
 			continue
 		}
-		n.mu.Lock()
-		n.stats.Sent++
-		n.mu.Unlock()
+		targets = append(targets, p)
 	}
+	n.mu.Unlock()
+	n.ctr.broadcasts.Add(1)
+	for _, p := range targets {
+		if _, err := n.conn.WriteToUDP(data, p.addr); err != nil {
+			n.ctr.sendErrors.Add(1)
+			n.peerSendFailed(p, err)
+			continue
+		}
+		n.ctr.sent.Add(1)
+		n.peerSendOK(p)
+	}
+}
+
+// peerSendFailed records one failed transmission and trips the peer into
+// timed exponential backoff once the consecutive-failure limit is reached.
+func (n *Node) peerSendFailed(p *peerState, err error) {
+	n.mu.Lock()
+	p.failures++
+	p.consecFails++
+	tripped := p.consecFails >= n.failLimit
+	var wait time.Duration
+	if tripped {
+		wait = p.nextBackoff
+		if wait == 0 {
+			wait = n.backoffBase
+		}
+		p.backoffUntil = time.Now().Add(wait)
+		p.nextBackoff = wait * 2
+		if p.nextBackoff > n.backoffMax {
+			p.nextBackoff = n.backoffMax
+		}
+		p.consecFails = 0
+		n.ctr.peerBackoffs.Add(1)
+	}
+	n.mu.Unlock()
+	if tripped {
+		n.logf("peer %v: backing off %v after repeated send failures: %v", p.key, wait, err)
+	} else {
+		n.logf("send to %v: %v", p.key, err)
+	}
+}
+
+// peerSendOK resets the peer's failure streak and backoff window.
+func (n *Node) peerSendOK(p *peerState) {
+	n.mu.Lock()
+	p.sent++
+	p.consecFails = 0
+	p.nextBackoff = 0
+	n.mu.Unlock()
 }
 
 func (n *Node) logf(format string, args ...any) {

@@ -1,11 +1,15 @@
 package node
 
 import (
+	"errors"
 	"net"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"instantad/internal/ads"
 	"instantad/internal/core"
 	"instantad/internal/geo"
 )
@@ -86,6 +90,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.RoundTime = 0 },
 		func(c *Config) { c.CacheK = 0 },
 		func(c *Config) { c.Range = -1 },
+		func(c *Config) { c.PeerFailLimit = -1 },
+		func(c *Config) { c.PeerBackoffBase = -time.Second },
+		func(c *Config) { c.PeerBackoffMax = -time.Second },
 	}
 	for i, mutate := range mutations {
 		cfg := testConfig(0, geo.Point{})
@@ -256,6 +263,257 @@ func TestAddrAndAddPeer(t *testing.T) {
 	}
 	if err := nodes[0].AddPeer("not::an::addr"); err == nil {
 		t.Error("bad peer accepted at runtime")
+	}
+}
+
+// TestCloseConcurrent hammers Close from many goroutines: shutdown must be
+// guarded so no pair of callers can double-close the done channel (a panic
+// before the sync.Once fix).
+func TestCloseConcurrent(t *testing.T) {
+	n, err := New(testConfig(9, geo.Point{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = n.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Errorf("closer %d got %v, closer 0 got %v", i, err, errs[0])
+		}
+	}
+}
+
+// TestIssueDuplicateRaceRegression reproduces the Issue-vs-duplicate data
+// race: Issue used to broadcast the cached ad pointer after releasing the
+// lock, while handle mutates the same entry's R/D/Sketch on duplicates.
+// A flooder thread replays every cached ad with ever-larger R and D (forcing
+// the merge writes) while the main thread issues; before the clone fix the
+// race detector flags encode's unlocked reads against those writes.
+func TestIssueDuplicateRaceRegression(t *testing.T) {
+	// On a single CPU the two goroutines only interleave inside the
+	// microsecond encode window when the issuer is descheduled there; a
+	// near-permanent GC (every allocation pays an assist, and encode
+	// allocates twice per broadcast) provides exactly those yield points.
+	defer debug.SetGCPercent(debug.SetGCPercent(1))
+	cfg := testConfig(1, geo.Point{})
+	// Keep every issued ad cached: evictions would refresh every entry's
+	// probability under the lock, flushing the unlocked read out of the
+	// race detector's shadow history and masking the bug.
+	cfg.CacheK = 1024
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Ad IDs are predictable (issuer + sequence), so the flooder can
+		// start merging duplicates of the newest ad the instant it appears
+		// — while Issue is still encoding it for broadcast. Growing R and
+		// D force the merge writes on every duplicate.
+		grow := 10000.0
+		next := uint32(0)
+		var flood *ads.Advertisement
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n.Has(ads.ID{Issuer: 1, Seq: next}) {
+				flood = &ads.Advertisement{
+					ID: ads.ID{Issuer: 1, Seq: next}, Category: "petrol",
+				}
+				next++
+			}
+			if flood == nil {
+				continue
+			}
+			grow++
+			flood.R, flood.D = grow, grow
+			n.handle(&envelope{Sender: 99, Pos: geo.Point{}, Ad: flood})
+		}
+	}()
+	// A fat payload stretches the encode of each broadcast, widening the
+	// window in which the flooder's merge can overlap it.
+	text := strings.Repeat("x", 32*1024)
+	for i := 0; i < 200; i++ {
+		if _, err := n.Issue(core.AdSpec{R: 500, D: 9000, Category: "petrol", Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestIssueSkipsForgedIDs floods the node with an ad forged under its own
+// issuer identity before it ever issues: Issue must skip the occupied
+// sequence number instead of panicking on a duplicate cache insert.
+func TestIssueSkipsForgedIDs(t *testing.T) {
+	n, err := New(testConfig(7, geo.Point{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	for seq := uint32(0); seq < 3; seq++ {
+		n.handle(&envelope{Sender: 99, Pos: geo.Point{X: 10}, Ad: &ads.Advertisement{
+			ID: ads.ID{Issuer: 7, Seq: seq}, Origin: geo.Point{X: 10},
+			IssuedAt: 0, R: 400, D: 9000, Category: "forged",
+		}})
+	}
+	ad, err := n.Issue(core.AdSpec{R: 500, D: 60, Category: "petrol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.ID.Seq < 3 {
+		t.Errorf("issued seq %d collides with a forged ad", ad.ID.Seq)
+	}
+}
+
+// TestSeenSetPruned checks the dedup set is bounded by live ads: once an ad
+// expires, its ID is swept within a couple of rounds and Has reverts to
+// false.
+func TestSeenSetPruned(t *testing.T) {
+	cfg := testConfig(3, geo.Point{})
+	cfg.RoundTime = 20 * time.Millisecond
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	n.Start()
+	ad, err := n.Issue(core.AdSpec{R: 400, D: 0.15, Category: "petrol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.SeenSize() != 1 || !n.Has(ad.ID) {
+		t.Fatalf("seen size %d after issue", n.SeenSize())
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return n.SeenSize() == 0 }) {
+		t.Fatalf("seen set never pruned: size %d", n.SeenSize())
+	}
+	if n.Has(ad.ID) {
+		t.Error("expired ad still reported by Has")
+	}
+	if n.Stats().SeenPruned == 0 {
+		t.Error("no prunes counted")
+	}
+}
+
+// writeFilterConn wraps the node's real socket and fails writes to selected
+// destinations, so tests can exercise the per-peer send-health path.
+type writeFilterConn struct {
+	packetConn
+	mu      sync.Mutex
+	failFor map[string]bool
+}
+
+func (c *writeFilterConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	c.mu.Lock()
+	bad := c.failFor[addr.String()]
+	c.mu.Unlock()
+	if bad {
+		return 0, errTestSend
+	}
+	return c.packetConn.WriteToUDP(b, addr)
+}
+
+var errTestSend = errors.New("injected send failure")
+
+// TestPeerBackoffAndRemovePeer drives broadcasts against one healthy and one
+// always-failing peer: the failing peer must trip into timed backoff (so it
+// stops burning syscalls), recover for a retry after the window, and be
+// removable at runtime.
+func TestPeerBackoffAndRemovePeer(t *testing.T) {
+	cfg := testConfig(1, geo.Point{})
+	cfg.PeerFailLimit = 2
+	cfg.PeerBackoffBase = 80 * time.Millisecond
+	cfg.PeerBackoffMax = 200 * time.Millisecond
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	sink, err := New(testConfig(2, geo.Point{X: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sink.Close() })
+	sink.Start()
+
+	const badAddr = "127.0.0.1:9" // discard port; the wrapper fails it anyway
+	fc := &writeFilterConn{packetConn: n.conn, failFor: map[string]bool{badAddr: true}}
+	n.conn = fc
+	if err := n.AddPeer(sink.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPeer(badAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	issue := func() {
+		t.Helper()
+		if _, err := n.Issue(core.AdSpec{R: 500, D: 60, Category: "petrol"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	issue() // failure 1
+	issue() // failure 2 → backoff trips
+	st := n.Stats()
+	if st.SendErrors != 2 || st.PeerBackoffs != 1 {
+		t.Fatalf("sendErrors=%d peerBackoffs=%d after two failures", st.SendErrors, st.PeerBackoffs)
+	}
+	var bad PeerHealth
+	for _, p := range n.Peers() {
+		if p.Addr == badAddr {
+			bad = p
+		}
+	}
+	if !bad.InBackoff || bad.Failures != 2 {
+		t.Fatalf("bad peer health %+v not in backoff", bad)
+	}
+	if st.PeersLive != 1 {
+		t.Errorf("PeersLive = %d with one peer in backoff", st.PeersLive)
+	}
+
+	issue() // bad peer skipped during backoff
+	if got := n.Stats().SendErrors; got != 2 {
+		t.Errorf("peer in backoff still hit the socket: sendErrors=%d", got)
+	}
+	time.Sleep(120 * time.Millisecond) // backoff window passes
+	issue()                            // retried → fails again
+	if got := n.Stats().SendErrors; got != 3 {
+		t.Errorf("peer not retried after backoff: sendErrors=%d", got)
+	}
+
+	if !n.RemovePeer(badAddr) {
+		t.Fatal("RemovePeer missed the failing peer")
+	}
+	if n.RemovePeer(badAddr) {
+		t.Error("RemovePeer removed a peer twice")
+	}
+	if len(n.Peers()) != 1 {
+		t.Fatalf("%d peers after removal", len(n.Peers()))
+	}
+	before := n.Stats().SendErrors
+	issue()
+	if got := n.Stats().SendErrors; got != before {
+		t.Errorf("removed peer still addressed: sendErrors %d → %d", before, got)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return sink.Stats().Received > 0 }) {
+		t.Error("healthy peer never received despite the sick neighbor")
 	}
 }
 
