@@ -1,16 +1,21 @@
 // Command adnode runs one live protocol node over UDP, or a self-contained
 // loopback demo cluster.
 //
-// Daemon mode — one node per process, peers by address:
+// Daemon mode — one node per process. With -beacon the node discovers its
+// peers itself: point it at one bootstrap contact and HELLO beacons grow
+// and maintain the membership (dead neighbors age out after -ttl):
 //
-//	adnode -listen 127.0.0.1:7001 -peers 127.0.0.1:7002,127.0.0.1:7003 \
-//	       -x 0 -y 0 -id 1
+//	adnode -listen 127.0.0.1:7001 -id 1 -beacon 2s -seeds 127.0.0.1:7000
 //	adnode ... -issue "Unleaded \$1.45/L" -R 500 -D 180   # also issues an ad
 //
+// Without -beacon the peer set is static, listed up front:
+//
+//	adnode -listen 127.0.0.1:7001 -peers 127.0.0.1:7002,127.0.0.1:7003
+//
 // Observability: every -stats interval the daemon prints a one-line JSON
-// snapshot of its counters and per-peer send health, and it prints a final
-// snapshot on SIGINT/SIGTERM. With -http the same snapshot is published at
-// /debug/vars via expvar.
+// snapshot of its counters, per-peer send health and neighbor table, and it
+// prints a final snapshot on SIGINT/SIGTERM. With -http the same snapshot
+// is published at /debug/vars via expvar.
 //
 // Demo mode — a five-node chain on loopback in one process, showing a real
 // multi-hop delivery end to end:
@@ -33,30 +38,35 @@ import (
 	"instantad/internal/core"
 	"instantad/internal/geo"
 	"instantad/internal/node"
+	"instantad/internal/node/discovery"
 )
 
 func main() {
 	var (
-		demo     = flag.Bool("demo", false, "run a five-node loopback demo and exit")
-		id       = flag.Uint("id", 1, "node identity")
-		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers    = flag.String("peers", "", "comma-separated peer addresses")
-		x        = flag.Float64("x", 0, "virtual position x, meters")
-		y        = flag.Float64("y", 0, "virtual position y, meters")
-		rng      = flag.Float64("range", 250, "virtual radio range, meters (0 = overlay)")
-		alpha    = flag.Float64("alpha", 0.5, "probability parameter α")
-		beta     = flag.Float64("beta", 0.5, "decay parameter β")
-		round    = flag.Duration("round", 5*time.Second, "gossip round Δt")
-		cacheK   = flag.Int("cache", 10, "cache capacity")
-		dis      = flag.Float64("dis", 0, "annulus width (enables mechanism 1)")
-		opt2     = flag.Bool("opt2", true, "enable overhearing postponement")
-		issue    = flag.String("issue", "", "issue an ad with this text after startup")
-		adR      = flag.Float64("R", 500, "issued ad radius, m")
-		adD      = flag.Float64("D", 180, "issued ad duration, s")
-		adCat    = flag.String("category", "petrol", "issued ad category")
-		statsInt = flag.Duration("stats", 10*time.Second, "interval between JSON stats snapshots (0 = quiet)")
-		httpAddr = flag.String("http", "", "serve expvar snapshots over HTTP at this address (e.g. 127.0.0.1:8500)")
-		verbose  = flag.Bool("v", false, "log protocol events")
+		demo      = flag.Bool("demo", false, "run a five-node loopback demo and exit")
+		id        = flag.Uint("id", 1, "node identity")
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers     = flag.String("peers", "", "comma-separated static peer addresses")
+		beacon    = flag.Duration("beacon", 0, "HELLO beacon interval (0 = static peers only)")
+		ttl       = flag.Duration("ttl", 0, "neighbor TTL (default 3×beacon interval)")
+		seeds     = flag.String("seeds", "", "comma-separated bootstrap contacts for discovery")
+		advertise = flag.String("advertise", "", "address put in beacons (default: bound address; set when binding a wildcard)")
+		x         = flag.Float64("x", 0, "virtual position x, meters")
+		y         = flag.Float64("y", 0, "virtual position y, meters")
+		rng       = flag.Float64("range", 250, "virtual radio range, meters (0 = overlay)")
+		alpha     = flag.Float64("alpha", 0.5, "probability parameter α")
+		beta      = flag.Float64("beta", 0.5, "decay parameter β")
+		round     = flag.Duration("round", 5*time.Second, "gossip round Δt")
+		cacheK    = flag.Int("cache", 10, "cache capacity")
+		dis       = flag.Float64("dis", 0, "annulus width (enables mechanism 1)")
+		opt2      = flag.Bool("opt2", true, "enable overhearing postponement")
+		issue     = flag.String("issue", "", "issue an ad with this text after startup")
+		adR       = flag.Float64("R", 500, "issued ad radius, m")
+		adD       = flag.Float64("D", 180, "issued ad duration, s")
+		adCat     = flag.String("category", "petrol", "issued ad category")
+		statsInt  = flag.Duration("stats", 10*time.Second, "interval between JSON stats snapshots (0 = quiet)")
+		httpAddr  = flag.String("http", "", "serve expvar snapshots over HTTP at this address (e.g. 127.0.0.1:8500)")
+		verbose   = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
 
@@ -66,20 +76,26 @@ func main() {
 	}
 
 	cfg := node.Config{
-		ID:         uint32(*id),
-		ListenAddr: *listen,
-		Range:      *rng,
-		Position:   node.StaticPosition(geo.Point{X: *x, Y: *y}),
-		Alpha:      *alpha,
-		Beta:       *beta,
-		RoundTime:  *round,
-		CacheK:     *cacheK,
-		DIS:        *dis,
-		Opt2:       *opt2,
-		Seed:       uint64(*id),
+		ID:             uint32(*id),
+		ListenAddr:     *listen,
+		Range:          *rng,
+		Position:       node.StaticPosition(geo.Point{X: *x, Y: *y}),
+		Alpha:          *alpha,
+		Beta:           *beta,
+		RoundTime:      *round,
+		CacheK:         *cacheK,
+		DIS:            *dis,
+		Opt2:           *opt2,
+		Seed:           uint64(*id),
+		BeaconInterval: *beacon,
+		NeighborTTL:    *ttl,
+		AdvertiseAddr:  *advertise,
 	}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
+	}
+	if *seeds != "" {
+		cfg.Seeds = strings.Split(*seeds, ",")
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -92,6 +108,10 @@ func main() {
 	n.Start()
 	fmt.Printf("node %d listening on %s at (%.0f, %.0f), range %.0f m\n",
 		*id, n.Addr(), *x, *y, *rng)
+	if *beacon > 0 {
+		fmt.Printf("discovery on: beaconing every %v, neighbor TTL %v, %d seed(s)\n",
+			*beacon, *ttl, len(cfg.Seeds))
+	}
 
 	expvar.Publish("adnode", expvar.Func(func() any { return snapshotOf(n, uint32(*id)) }))
 	if *httpAddr != "" {
@@ -129,24 +149,27 @@ func main() {
 }
 
 // snapshot is the JSON observability surface: the node's counters plus
-// per-peer send health, stamped with identity and time.
+// per-peer send health and the discovery neighbor table, stamped with
+// identity and time.
 type snapshot struct {
-	Node   uint32            `json:"node"`
-	Addr   string            `json:"addr"`
-	Time   string            `json:"time"`
-	Cached int               `json:"cached"`
-	Stats  node.Stats        `json:"stats"`
-	Peers  []node.PeerHealth `json:"peers"`
+	Node      uint32               `json:"node"`
+	Addr      string               `json:"addr"`
+	Time      string               `json:"time"`
+	Cached    int                  `json:"cached"`
+	Stats     node.Stats           `json:"stats"`
+	Peers     []node.PeerHealth    `json:"peers"`
+	Neighbors []discovery.Neighbor `json:"neighbors,omitempty"`
 }
 
 func snapshotOf(n *node.Node, id uint32) snapshot {
 	return snapshot{
-		Node:   id,
-		Addr:   n.Addr(),
-		Time:   time.Now().UTC().Format(time.RFC3339),
-		Cached: len(n.Cached()),
-		Stats:  n.Stats(),
-		Peers:  n.Peers(),
+		Node:      id,
+		Addr:      n.Addr(),
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Cached:    len(n.Cached()),
+		Stats:     n.Stats(),
+		Peers:     n.Peers(),
+		Neighbors: n.Neighbors(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"instantad/internal/ads"
 	"instantad/internal/fm"
 	"instantad/internal/geo"
+	"instantad/internal/node/discovery"
 	"instantad/internal/rng"
 )
 
@@ -150,10 +151,14 @@ func oversizedAdFrame() []byte {
 	return frame
 }
 
-// FuzzDecodeEnvelope hardens the datagram parser. The corpus seeds the
-// interesting shapes by hand: valid frames (with and without a sketch),
-// truncated headers at every boundary, and an ad whose claimed payload
-// length dwarfs the datagram.
+// FuzzDecodeEnvelope hardens the datagram parsers behind the node's socket.
+// The fuzz body mirrors the read loop's dispatch: a leading BeaconMagic byte
+// routes to the HELLO decoder, everything else to the envelope decoder — so
+// the fuzzer explores both wire formats and proves a truncated or garbage
+// beacon can never be misparsed as an ad (the magics differ) nor crash the
+// shared read path. The corpus seeds the interesting shapes by hand: valid
+// frames of both kinds, truncated headers at every boundary, and an ad
+// whose claimed payload length dwarfs the datagram.
 func FuzzDecodeEnvelope(f *testing.F) {
 	good, _ := sampleEnvelope().encode()
 	withSketch := sampleEnvelope()
@@ -170,7 +175,30 @@ func FuzzDecodeEnvelope(f *testing.F) {
 	f.Add(good[:envHeaderLen+1])
 	f.Add(good[:len(good)-1])
 	f.Add(oversizedAdFrame())
+	beacon, _ := discovery.Beacon{
+		ID: 7, Addr: "127.0.0.1:7001", Pos: geo.Point{X: 10}, Range: 250,
+	}.Encode()
+	f.Add(beacon)
+	f.Add(beacon[:1])
+	f.Add(beacon[:len(beacon)/2])
+	f.Add(beacon[:len(beacon)-1])
+	f.Add(append(append([]byte(nil), beacon...), 0xFF))
+	f.Add([]byte{discovery.BeaconMagic})
 	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 0 && in[0] == discovery.BeaconMagic {
+			b, err := discovery.DecodeBeacon(in)
+			if err != nil {
+				return
+			}
+			out, err := b.Encode()
+			if err != nil {
+				t.Fatalf("accepted beacon does not re-encode: %v", err)
+			}
+			if len(out) != len(in) {
+				t.Fatalf("non-canonical beacon: %d vs %d bytes", len(out), len(in))
+			}
+			return
+		}
 		e, err := decodeEnvelope(in)
 		if err != nil {
 			return

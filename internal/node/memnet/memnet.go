@@ -1,0 +1,304 @@
+// Package memnet is a deterministic in-process datagram network for
+// many-node live-protocol tests: a shared Switchboard hands out endpoints
+// satisfying the node layer's PacketConn interface, and Transport() adapts
+// the switchboard itself to node.Transport — so 50–200 real Node instances
+// can run in one test binary with no OS sockets, no ports, and no kernel
+// buffering nondeterminism.
+//
+// The switchboard models the physical medium, not a router: datagrams are
+// delivered whole or not at all, loss is drawn from one seeded stream,
+// latency is a fixed configurable delay, and — the radio part — delivery can
+// be partitioned by geometry. The switchboard snoops HELLO beacons
+// (discovery.BeaconMagic frames) crossing it to learn each endpoint's
+// position, and with Range > 0 it refuses to carry a datagram between
+// endpoints it knows to be farther apart than the range, exactly like the
+// unit-disk radio the receiving node would apply anyway. Unknown positions
+// are carried: a node that has never beaconed is not yet placeable.
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"instantad/internal/geo"
+	"instantad/internal/node/discovery"
+	"instantad/internal/node/transport"
+	"instantad/internal/rng"
+)
+
+const (
+	// maxPayload mirrors the UDP datagram payload bound the live node
+	// enforces: frames beyond it could not traverse a real socket, so the
+	// in-memory medium refuses them too.
+	maxPayload = 65507
+	// defaultQueueLen is the per-endpoint receive buffer in datagrams.
+	defaultQueueLen = 4096
+	// addrPrefix namespaces switchboard addresses ("mem:3").
+	addrPrefix = "mem:"
+)
+
+// Config parameterizes a switchboard.
+type Config struct {
+	// Latency delays every delivery by a fixed interval. Zero delivers
+	// synchronously in the sender's goroutine — the deterministic mode.
+	Latency time.Duration
+	// Loss is the per-datagram drop probability, drawn from the seeded
+	// stream. Zero means lossless.
+	Loss float64
+	// Seed drives the loss stream; the same seed replays the same faults.
+	Seed uint64
+	// Range, when positive, partitions delivery by geometry: datagrams
+	// between endpoints whose last-beaconed positions are farther apart
+	// than Range are dropped by the medium.
+	Range float64
+	// QueueLen is the per-endpoint receive buffer in datagrams; a full
+	// buffer drops like a full kernel socket buffer. Zero means 4096.
+	QueueLen int
+}
+
+func (c Config) validate() error {
+	if c.Loss < 0 || c.Loss > 1 {
+		return fmt.Errorf("memnet: loss %v outside [0,1]", c.Loss)
+	}
+	if c.Latency < 0 {
+		return errors.New("memnet: negative latency")
+	}
+	if c.Range < 0 {
+		return errors.New("memnet: negative range")
+	}
+	if c.QueueLen < 0 {
+		return errors.New("memnet: negative queue length")
+	}
+	return nil
+}
+
+// Stats counts what the medium did.
+type Stats struct {
+	Delivered     uint64 `json:"delivered"`
+	Lost          uint64 `json:"lost"`           // dropped by the loss model
+	OutOfRange    uint64 `json:"out_of_range"`   // dropped by the range partition
+	NoEndpoint    uint64 `json:"no_endpoint"`    // destination not (or no longer) listening
+	QueueOverflow uint64 `json:"queue_overflow"` // receiver buffer full
+}
+
+// Switchboard is the shared in-memory medium.
+type Switchboard struct {
+	cfg Config
+
+	mu    sync.Mutex
+	rnd   *rng.Stream
+	eps   map[string]*Conn
+	pos   map[string]geo.Point // endpoint addr → last beaconed position
+	next  int
+	stats Stats
+}
+
+// New builds an empty switchboard.
+func New(cfg Config) (*Switchboard, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = defaultQueueLen
+	}
+	return &Switchboard{
+		cfg: cfg,
+		rnd: rng.New(cfg.Seed),
+		eps: make(map[string]*Conn),
+		pos: make(map[string]geo.Point),
+	}, nil
+}
+
+// Listen binds an endpoint. An empty addr (or a trailing-colon addr like
+// "mem:") auto-assigns the next free "mem:N" address; an explicit "mem:name"
+// binds exactly that address, failing if it is taken — which allows a closed
+// endpoint's address to be re-bound, the restart path the isolation-recovery
+// tests exercise.
+func (s *Switchboard) Listen(addr string) (*Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch addr {
+	case "", addrPrefix:
+		for {
+			addr = fmt.Sprintf("%s%d", addrPrefix, s.next)
+			s.next++
+			if _, taken := s.eps[addr]; !taken {
+				break
+			}
+		}
+	default:
+		if !strings.HasPrefix(addr, addrPrefix) {
+			return nil, fmt.Errorf("memnet: address %q is not %q-prefixed", addr, addrPrefix)
+		}
+		if _, taken := s.eps[addr]; taken {
+			return nil, fmt.Errorf("memnet: address %q already bound", addr)
+		}
+	}
+	c := &Conn{
+		sb:   s,
+		addr: addr,
+		ch:   make(chan packet, s.cfg.QueueLen),
+		done: make(chan struct{}),
+	}
+	s.eps[addr] = c
+	return c, nil
+}
+
+// Transport adapts the switchboard to the node layer's Transport interface.
+// The method sets already line up; Go just needs Listen's concrete *Conn
+// result lifted to the PacketConn interface.
+func (s *Switchboard) Transport() transport.Transport { return boardTransport{s} }
+
+type boardTransport struct{ s *Switchboard }
+
+func (t boardTransport) Listen(addr string) (transport.PacketConn, error) { return t.s.Listen(addr) }
+
+func (t boardTransport) Resolve(addr string) (string, error) { return t.s.Resolve(addr) }
+
+// Resolve canonicalizes an address: switchboard addresses are already
+// canonical, anything else is rejected. It backs the node layer's
+// Transport interface.
+func (s *Switchboard) Resolve(addr string) (string, error) {
+	if !strings.HasPrefix(addr, addrPrefix) || len(addr) == len(addrPrefix) {
+		return "", fmt.Errorf("memnet: bad address %q", addr)
+	}
+	return addr, nil
+}
+
+// Stats snapshots the medium's counters.
+func (s *Switchboard) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Position returns the last position snooped from addr's beacons.
+func (s *Switchboard) Position(addr string) (geo.Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pos[addr]
+	return p, ok
+}
+
+// packet is one in-flight datagram.
+type packet struct {
+	data []byte
+	from string
+}
+
+// Conn is one endpoint's socket. It implements the node layer's PacketConn
+// interface structurally.
+type Conn struct {
+	sb   *Switchboard
+	addr string
+	ch   chan packet
+	done chan struct{}
+	once sync.Once
+}
+
+// LocalAddr returns the endpoint's bound address.
+func (c *Conn) LocalAddr() string { return c.addr }
+
+// ReadFrom blocks until a datagram arrives or the conn closes, mirroring a
+// UDP socket: a datagram longer than b is truncated.
+func (c *Conn) ReadFrom(b []byte) (int, string, error) {
+	select {
+	case p := <-c.ch:
+		return copy(b, p.data), p.from, nil
+	case <-c.done:
+		return 0, "", net.ErrClosed
+	}
+}
+
+// WriteTo routes one datagram through the switchboard. Like UDP, a send to
+// nobody succeeds silently; only local faults (closed conn, oversized
+// payload, unroutable address) error.
+func (c *Conn) WriteTo(b []byte, to string) (int, error) {
+	select {
+	case <-c.done:
+		return 0, net.ErrClosed
+	default:
+	}
+	if len(b) > maxPayload {
+		return 0, fmt.Errorf("memnet: message of %d bytes too long", len(b))
+	}
+	if !strings.HasPrefix(to, addrPrefix) {
+		return 0, fmt.Errorf("memnet: bad destination %q", to)
+	}
+	s := c.sb
+	s.mu.Lock()
+	// The medium learns geometry by listening to the traffic it carries:
+	// every beacon stamps its sender's endpoint with the claimed position.
+	if len(b) > 0 && b[0] == discovery.BeaconMagic {
+		if bc, err := discovery.DecodeBeacon(b); err == nil {
+			s.pos[c.addr] = bc.Pos
+		}
+	}
+	if s.cfg.Loss > 0 && s.rnd.Bool(s.cfg.Loss) {
+		s.stats.Lost++
+		s.mu.Unlock()
+		return len(b), nil
+	}
+	if s.cfg.Range > 0 {
+		sp, sok := s.pos[c.addr]
+		dp, dok := s.pos[to]
+		if sok && dok && sp.Dist(dp) > s.cfg.Range {
+			s.stats.OutOfRange++
+			s.mu.Unlock()
+			return len(b), nil
+		}
+	}
+	dst, ok := s.eps[to]
+	if !ok {
+		s.stats.NoEndpoint++
+		s.mu.Unlock()
+		return len(b), nil
+	}
+	s.mu.Unlock()
+
+	p := packet{data: append([]byte(nil), b...), from: c.addr}
+	if c.sb.cfg.Latency > 0 {
+		time.AfterFunc(c.sb.cfg.Latency, func() { c.sb.deliver(to, dst, p) })
+		return len(b), nil
+	}
+	c.sb.deliver(to, dst, p)
+	return len(b), nil
+}
+
+// deliver enqueues the packet unless the destination has since closed or its
+// buffer is full.
+func (s *Switchboard) deliver(to string, dst *Conn, p packet) {
+	s.mu.Lock()
+	if s.eps[to] != dst { // closed (or closed and rebound) since routing
+		s.stats.NoEndpoint++
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case dst.ch <- p:
+		s.stats.Delivered++
+	default:
+		s.stats.QueueOverflow++
+	}
+	s.mu.Unlock()
+}
+
+// Close unbinds the endpoint; blocked and future reads return net.ErrClosed,
+// and in-flight datagrams toward it are dropped like packets to a dead port.
+func (c *Conn) Close() error {
+	c.once.Do(func() {
+		s := c.sb
+		s.mu.Lock()
+		if s.eps[c.addr] == c {
+			delete(s.eps, c.addr)
+			delete(s.pos, c.addr)
+		}
+		s.mu.Unlock()
+		close(c.done)
+	})
+	return nil
+}

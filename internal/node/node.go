@@ -12,6 +12,7 @@ import (
 	"instantad/internal/core"
 	"instantad/internal/fm"
 	"instantad/internal/geo"
+	"instantad/internal/node/discovery"
 	"instantad/internal/rng"
 )
 
@@ -28,10 +29,16 @@ func StaticPosition(p geo.Point) PositionFunc {
 type Config struct {
 	// ID is the node's stable identity (the "MAC address" of ad IDs).
 	ID uint32
-	// ListenAddr is the UDP address to bind, e.g. "127.0.0.1:0".
+	// ListenAddr is the address to bind, e.g. "127.0.0.1:0" (UDP) or
+	// "mem:" (memnet auto-assign).
 	ListenAddr string
-	// Peers are the datagram destinations standing in for the broadcast
-	// medium. The virtual radio below decides who actually "hears".
+	// Transport binds the socket and canonicalizes addresses; nil means
+	// real UDP. The in-memory switchboard (internal/node/memnet) satisfies
+	// the interface for many-node single-process tests.
+	Transport Transport
+	// Peers are static datagram destinations standing in for the broadcast
+	// medium. With discovery enabled they are merely the initial peer set;
+	// prefer Seeds there.
 	Peers []string
 	// Range is the virtual transmission range in meters; incoming packets
 	// from senders farther than Range (per their advertised position) are
@@ -57,6 +64,25 @@ type Config struct {
 	Popularity core.PopularityConfig
 	// Interests are the node's interest keywords for ad matching.
 	Interests []string
+
+	// BeaconInterval, when positive, enables neighbor discovery: the node
+	// periodically announces itself with a HELLO beacon and maintains a
+	// TTL-expiring neighbor table that drives the peer set automatically.
+	// Zero keeps the legacy static-peer mode.
+	BeaconInterval time.Duration
+	// NeighborTTL is how long a neighbor survives without being heard
+	// before it is swept from the table (and the peer set). Zero means
+	// 3 × BeaconInterval; when set it must exceed BeaconInterval.
+	NeighborTTL time.Duration
+	// Seeds are bootstrap contacts: beacons go to them only while the
+	// neighbor table is empty (cold start and isolation recovery). A seed
+	// may be a node address or, on a LAN, a subnet broadcast address.
+	Seeds []string
+	// AdvertiseAddr is the address put into outgoing beacons for others to
+	// reach us at; empty means the bound socket address. Set it when
+	// binding a wildcard address or behind a NAT.
+	AdvertiseAddr string
+
 	// PeerFailLimit is the number of consecutive send failures after which
 	// a peer enters timed backoff, so one dead address cannot burn a
 	// syscall every gossip round. Zero means the default (3).
@@ -90,6 +116,23 @@ func (c Config) validate() error {
 	if c.Range < 0 || c.DIS < 0 {
 		return fmt.Errorf("node: negative range or DIS")
 	}
+	if c.BeaconInterval < 0 || c.NeighborTTL < 0 {
+		return fmt.Errorf("node: negative beacon interval or neighbor TTL")
+	}
+	if c.BeaconInterval == 0 {
+		if c.NeighborTTL > 0 {
+			return fmt.Errorf("node: neighbor TTL without a beacon interval")
+		}
+		if len(c.Seeds) > 0 {
+			return fmt.Errorf("node: seeds require a beacon interval")
+		}
+	} else if c.NeighborTTL > 0 && c.NeighborTTL <= c.BeaconInterval {
+		return fmt.Errorf("node: neighbor TTL %v must exceed the beacon interval %v",
+			c.NeighborTTL, c.BeaconInterval)
+	}
+	if len(c.AdvertiseAddr) > discovery.MaxAddrLen {
+		return fmt.Errorf("node: advertise address longer than %d bytes", discovery.MaxAddrLen)
+	}
 	if c.PeerFailLimit < 0 {
 		return fmt.Errorf("node: negative peer fail limit %d", c.PeerFailLimit)
 	}
@@ -99,22 +142,12 @@ func (c Config) validate() error {
 	return nil
 }
 
-// packetConn is the slice of *net.UDPConn the node uses. It exists so tests
-// can inject failing or scripted sockets to exercise the error paths.
-type packetConn interface {
-	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
-	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
-	Close() error
-	LocalAddr() net.Addr
-}
-
 // peerState is one datagram destination plus its send-health bookkeeping.
 // All fields are guarded by Node.mu.
 type peerState struct {
-	addr *net.UDPAddr
-	key  string // canonical addr string, the RemovePeer / health identity
+	key string // canonical addr string: the identity, the wire destination
 
-	sent         uint64 // datagrams delivered to the socket
+	sent         uint64 // datagrams delivered to the socket (ads + beacons)
 	failures     uint64 // total send failures
 	consecFails  int    // failures since the last success
 	backoffUntil time.Time
@@ -132,9 +165,16 @@ type PeerHealth struct {
 
 // Node is one live protocol participant.
 type Node struct {
-	cfg    Config
-	params core.ProbParams
-	conn   packetConn
+	cfg       Config
+	params    core.ProbParams
+	transport Transport
+	conn      PacketConn
+
+	// Discovery state: nil table means the legacy static-peer mode.
+	table       *discovery.Table
+	neighborTTL time.Duration
+	advertise   string   // the address our beacons claim
+	seeds       []string // canonical bootstrap contacts
 
 	failLimit   int
 	backoffBase time.Duration
@@ -150,6 +190,7 @@ type Node struct {
 	seen      map[ads.ID]float64 // ad ID → protocol-time expiry of that ad
 	nextPrune float64            // protocol time of the next seen-set sweep
 	peers     []*peerState
+	peerIndex map[string]*peerState // canonical key → entry of peers
 	interests map[string]bool
 	rnd       *rng.Stream
 	nextSeq   uint32
@@ -166,34 +207,45 @@ type Node struct {
 // counters hold the node's activity counts as atomics so the hot paths never
 // take the state lock just to count.
 type counters struct {
-	sent         atomic.Uint64
-	broadcasts   atomic.Uint64
-	received     atomic.Uint64
-	outOfRange   atomic.Uint64
-	malformed    atomic.Uint64
-	duplicates   atomic.Uint64
-	expired      atomic.Uint64
-	readErrors   atomic.Uint64
-	sendErrors   atomic.Uint64
-	seenPruned   atomic.Uint64
-	peerBackoffs atomic.Uint64
+	sent             atomic.Uint64
+	broadcasts       atomic.Uint64
+	received         atomic.Uint64
+	outOfRange       atomic.Uint64
+	malformed        atomic.Uint64
+	duplicates       atomic.Uint64
+	expired          atomic.Uint64
+	readErrors       atomic.Uint64
+	sendErrors       atomic.Uint64
+	seenPruned       atomic.Uint64
+	peerBackoffs     atomic.Uint64
+	beaconsSent      atomic.Uint64
+	beaconsRecv      atomic.Uint64
+	beaconRelays     atomic.Uint64
+	neighborsExpired atomic.Uint64
+	epochSkew        atomic.Uint64
 }
 
 // Stats is a snapshot of a live node's activity.
 type Stats struct {
-	Sent         uint64 `json:"sent"`          // datagrams transmitted (per peer destination)
-	Broadcasts   uint64 `json:"broadcasts"`    // gossip decisions that fired (one per ad broadcast)
-	Received     uint64 `json:"received"`      // envelopes accepted
-	OutOfRange   uint64 `json:"out_of_range"`  // envelopes dropped by the virtual radio
-	Malformed    uint64 `json:"malformed"`     // undecodable datagrams
-	Duplicates   uint64 `json:"duplicates"`    // envelopes for ads already cached
-	Expired      uint64 `json:"expired"`       // envelopes dropped because the ad had expired
-	ReadErrors   uint64 `json:"read_errors"`   // transient socket read failures survived via backoff
-	SendErrors   uint64 `json:"send_errors"`   // failed datagram transmissions
-	SeenPruned   uint64 `json:"seen_pruned"`   // expired IDs swept from the dedup set
-	PeerBackoffs uint64 `json:"peer_backoffs"` // times a peer entered timed backoff
-	SeenLive     uint64 `json:"seen_live"`     // gauge: current dedup-set size (O(live ads))
-	PeersLive    uint64 `json:"peers_live"`    // gauge: peers currently not in backoff
+	Sent             uint64 `json:"sent"`              // ad datagrams transmitted (per peer destination)
+	Broadcasts       uint64 `json:"broadcasts"`        // gossip decisions that fired (one per ad broadcast)
+	Received         uint64 `json:"received"`          // envelopes accepted
+	OutOfRange       uint64 `json:"out_of_range"`      // frames dropped by the virtual radio
+	Malformed        uint64 `json:"malformed"`         // undecodable datagrams
+	Duplicates       uint64 `json:"duplicates"`        // envelopes for ads already cached
+	Expired          uint64 `json:"expired"`           // envelopes dropped because the ad had expired
+	ReadErrors       uint64 `json:"read_errors"`       // transient socket read failures survived via backoff
+	SendErrors       uint64 `json:"send_errors"`       // failed datagram transmissions
+	SeenPruned       uint64 `json:"seen_pruned"`       // expired IDs swept from the dedup set
+	PeerBackoffs     uint64 `json:"peer_backoffs"`     // times a peer entered timed backoff
+	BeaconsSent      uint64 `json:"beacons_sent"`      // HELLO datagrams transmitted
+	BeaconsRecv      uint64 `json:"beacons_recv"`      // HELLO datagrams accepted
+	BeaconRelays     uint64 `json:"beacon_relays"`     // first-hand introductions passed along
+	NeighborsExpired uint64 `json:"neighbors_expired"` // neighbors aged out by the TTL sweep
+	EpochSkew        uint64 `json:"epoch_skew"`        // beacons whose epoch hint disagreed with ours
+	SeenLive         uint64 `json:"seen_live"`         // gauge: current dedup-set size (O(live ads))
+	PeersLive        uint64 `json:"peers_live"`        // gauge: peers currently not in backoff
+	NeighborsLive    uint64 `json:"neighbors_live"`    // gauge: current neighbor-table size
 }
 
 const (
@@ -202,6 +254,12 @@ const (
 	defaultPeerBackoffMax  = 30 * time.Second
 	defaultReadBackoffMin  = 5 * time.Millisecond
 	defaultReadBackoffMax  = time.Second
+	// defaultTTLIntervals is the neighbor TTL in beacon intervals when
+	// Config.NeighborTTL is zero: three missed beacons mean gone.
+	defaultTTLIntervals = 3
+	// epochSkewSlack is how far a beacon's epoch hint may sit from ours
+	// before it is counted as a misconfiguration (seconds).
+	epochSkewSlack = 1.0
 )
 
 // New binds the node's socket. Call Start to begin gossiping and Close to
@@ -210,17 +268,18 @@ func New(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	laddr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("node: %w", err)
+	tr := cfg.Transport
+	if tr == nil {
+		tr = UDPTransport{}
 	}
-	conn, err := net.ListenUDP("udp", laddr)
+	conn, err := tr.Listen(cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 	n := &Node{
 		cfg:            cfg,
 		params:         core.ProbParams{Alpha: cfg.Alpha, Beta: cfg.Beta},
+		transport:      tr,
 		conn:           conn,
 		failLimit:      cfg.PeerFailLimit,
 		backoffBase:    cfg.PeerBackoffBase,
@@ -229,6 +288,7 @@ func New(cfg Config) (*Node, error) {
 		readBackoffMax: defaultReadBackoffMax,
 		cache:          ads.NewCache(cfg.CacheK),
 		seen:           make(map[ads.ID]float64),
+		peerIndex:      make(map[string]*peerState),
 		interests:      make(map[string]bool, len(cfg.Interests)),
 		rnd:            rng.New(cfg.Seed),
 		epoch:          time.Now(),
@@ -249,30 +309,65 @@ func New(cfg Config) (*Node, error) {
 	for _, k := range cfg.Interests {
 		n.interests[k] = true
 	}
+	if cfg.BeaconInterval > 0 {
+		n.neighborTTL = cfg.NeighborTTL
+		if n.neighborTTL == 0 {
+			n.neighborTTL = defaultTTLIntervals * cfg.BeaconInterval
+		}
+		n.table = discovery.NewTable(n.neighborTTL)
+		n.advertise = cfg.AdvertiseAddr
+		if n.advertise == "" {
+			n.advertise = conn.LocalAddr()
+		}
+		for _, s := range cfg.Seeds {
+			key, err := tr.Resolve(s)
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("node: seed %q: %w", s, err)
+			}
+			n.seeds = append(n.seeds, key)
+		}
+	}
 	for _, p := range cfg.Peers {
-		addr, err := net.ResolveUDPAddr("udp", p)
+		key, err := tr.Resolve(p)
 		if err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("node: peer %q: %w", p, err)
 		}
-		n.peers = append(n.peers, &peerState{addr: addr, key: addr.String()})
+		n.addPeerLocked(key)
 	}
 	return n, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).
-func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+func (n *Node) Addr() string { return n.conn.LocalAddr() }
 
-// AddPeer adds a datagram destination at runtime.
+// AddPeer adds a datagram destination at runtime. Peers are identified by
+// their canonical resolved address: re-adding an existing peer (under any
+// equivalent spelling) is a no-op that preserves its send-health state.
 func (n *Node) AddPeer(addr string) error {
-	a, err := net.ResolveUDPAddr("udp", addr)
+	key, err := n.transport.Resolve(addr)
 	if err != nil {
 		return fmt.Errorf("node: peer %q: %w", addr, err)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.peers = append(n.peers, &peerState{addr: a, key: a.String()})
+	n.addPeerLocked(key)
 	return nil
+}
+
+// addPeerLocked inserts a peer by canonical key, deduplicating: an existing
+// entry is returned untouched so a re-add cannot double-send datagrams or
+// reset accumulated health. Callers hold n.mu (or own the node exclusively,
+// as New does).
+func (n *Node) addPeerLocked(key string) *peerState {
+	if p := n.peerIndex[key]; p != nil {
+		return p
+	}
+	p := &peerState{key: key}
+	n.peers = append(n.peers, p)
+	n.peerIndex[key] = p
+	return p
 }
 
 // RemovePeer drops a datagram destination at runtime, reporting whether a
@@ -280,22 +375,23 @@ func (n *Node) AddPeer(addr string) error {
 // form, so "localhost:7001" removes a peer added as "127.0.0.1:7001".
 func (n *Node) RemovePeer(addr string) bool {
 	key := addr
-	if a, err := net.ResolveUDPAddr("udp", addr); err == nil {
-		key = a.String()
+	if k, err := n.transport.Resolve(addr); err == nil {
+		key = k
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.peerIndex[key] == nil {
+		return false
+	}
+	delete(n.peerIndex, key)
 	kept := n.peers[:0]
-	removed := false
 	for _, p := range n.peers {
-		if p.key == key {
-			removed = true
-			continue
+		if p.key != key {
+			kept = append(kept, p)
 		}
-		kept = append(kept, p)
 	}
 	n.peers = kept
-	return removed
+	return true
 }
 
 // Peers returns a snapshot of every peer's send health.
@@ -316,7 +412,26 @@ func (n *Node) Peers() []PeerHealth {
 	return out
 }
 
-// Start launches the receive loop and the gossip scheduler.
+// Neighbors returns a snapshot of the discovery neighbor table, sorted by
+// node ID. It is nil when discovery is disabled.
+func (n *Node) Neighbors() []discovery.Neighbor {
+	if n.table == nil {
+		return nil
+	}
+	return n.table.Snapshot()
+}
+
+// NeighborCount returns the current neighbor-table size (0 when discovery
+// is disabled).
+func (n *Node) NeighborCount() int {
+	if n.table == nil {
+		return 0
+	}
+	return n.table.Len()
+}
+
+// Start launches the receive loop, the gossip scheduler, and (with
+// discovery enabled) the beacon announcer.
 func (n *Node) Start() {
 	n.mu.Lock()
 	if n.started {
@@ -328,6 +443,10 @@ func (n *Node) Start() {
 	n.wg.Add(2)
 	go n.readLoop()
 	go n.gossipLoop()
+	if n.table != nil {
+		n.wg.Add(1)
+		go n.beaconLoop()
+	}
 }
 
 // Close stops the node and releases the socket. It is idempotent and safe to
@@ -364,6 +483,13 @@ func (n *Node) SetEpoch(t time.Time) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.epoch = t
+}
+
+// epochUnix returns the epoch as Unix seconds — the beacon's epoch hint.
+func (n *Node) epochUnix() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return float64(n.epoch.UnixNano()) / 1e9
 }
 
 // Issue injects a new advertisement at the node's current position and
@@ -479,17 +605,25 @@ func (n *Node) Cached() []*ads.Advertisement {
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	s := Stats{
-		Sent:         n.ctr.sent.Load(),
-		Broadcasts:   n.ctr.broadcasts.Load(),
-		Received:     n.ctr.received.Load(),
-		OutOfRange:   n.ctr.outOfRange.Load(),
-		Malformed:    n.ctr.malformed.Load(),
-		Duplicates:   n.ctr.duplicates.Load(),
-		Expired:      n.ctr.expired.Load(),
-		ReadErrors:   n.ctr.readErrors.Load(),
-		SendErrors:   n.ctr.sendErrors.Load(),
-		SeenPruned:   n.ctr.seenPruned.Load(),
-		PeerBackoffs: n.ctr.peerBackoffs.Load(),
+		Sent:             n.ctr.sent.Load(),
+		Broadcasts:       n.ctr.broadcasts.Load(),
+		Received:         n.ctr.received.Load(),
+		OutOfRange:       n.ctr.outOfRange.Load(),
+		Malformed:        n.ctr.malformed.Load(),
+		Duplicates:       n.ctr.duplicates.Load(),
+		Expired:          n.ctr.expired.Load(),
+		ReadErrors:       n.ctr.readErrors.Load(),
+		SendErrors:       n.ctr.sendErrors.Load(),
+		SeenPruned:       n.ctr.seenPruned.Load(),
+		PeerBackoffs:     n.ctr.peerBackoffs.Load(),
+		BeaconsSent:      n.ctr.beaconsSent.Load(),
+		BeaconsRecv:      n.ctr.beaconsRecv.Load(),
+		BeaconRelays:     n.ctr.beaconRelays.Load(),
+		NeighborsExpired: n.ctr.neighborsExpired.Load(),
+		EpochSkew:        n.ctr.epochSkew.Load(),
+	}
+	if n.table != nil {
+		s.NeighborsLive = uint64(n.table.Len())
 	}
 	now := time.Now()
 	n.mu.Lock()
@@ -523,16 +657,17 @@ func (n *Node) evictLocked() {
 	n.cache.EvictLowest()
 }
 
-// readLoop receives, filters and integrates envelopes. Read errors are
-// classified: a closed socket ends the loop, anything else is treated as
-// transient and retried under capped exponential backoff so a persistent
-// socket fault cannot hot-spin a core or flood the log.
+// readLoop receives, filters and integrates datagrams — ad envelopes and
+// HELLO beacons share the socket and are dispatched on their leading magic
+// byte. Read errors are classified: a closed socket ends the loop, anything
+// else is treated as transient and retried under capped exponential backoff
+// so a persistent socket fault cannot hot-spin a core or flood the log.
 func (n *Node) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, maxDatagram)
 	var backoff time.Duration
 	for {
-		nb, _, err := n.conn.ReadFromUDP(buf)
+		nb, from, err := n.conn.ReadFrom(buf)
 		if err != nil {
 			if n.closed() || errors.Is(err, net.ErrClosed) {
 				return
@@ -555,7 +690,12 @@ func (n *Node) readLoop() {
 			continue
 		}
 		backoff = 0
-		env, err := decodeEnvelope(buf[:nb])
+		data := buf[:nb]
+		if nb > 0 && data[0] == discovery.BeaconMagic {
+			n.handleBeacon(data, from)
+			continue
+		}
+		env, err := decodeEnvelope(data)
 		if err != nil {
 			n.ctr.malformed.Add(1)
 			continue
@@ -609,6 +749,111 @@ func (n *Node) handle(env *envelope) {
 	}
 }
 
+// handleBeacon integrates one HELLO datagram: virtual radio first, then the
+// neighbor table, then membership — a first-heard neighbor is added to the
+// peer set, introduced to the rest of the neighborhood (when heard
+// first-hand), and answered with our own beacon so the pairwise link forms
+// in one exchange instead of one interval.
+func (n *Node) handleBeacon(data []byte, from string) {
+	b, err := discovery.DecodeBeacon(data)
+	if err != nil {
+		n.ctr.malformed.Add(1)
+		return
+	}
+	if n.table == nil || b.ID == n.cfg.ID {
+		// Discovery disabled, or our own beacon echoed back (a seed list
+		// containing ourselves, a relayed introduction): drop quietly.
+		return
+	}
+	pos, _ := n.cfg.Position(time.Now())
+	if n.cfg.Range > 0 && pos.Dist(b.Pos) > n.cfg.Range {
+		n.ctr.outOfRange.Add(1)
+		return
+	}
+	key, err := n.transport.Resolve(b.Addr)
+	if err != nil {
+		// A beacon claiming an unroutable address is useless to us.
+		n.ctr.malformed.Add(1)
+		return
+	}
+	n.ctr.beaconsRecv.Add(1)
+	if skew := b.Epoch - n.epochUnix(); skew > epochSkewSlack || skew < -epochSkewSlack {
+		n.ctr.epochSkew.Add(1)
+		n.logf("neighbor %d epoch differs from ours by %.1fs: ad ages will disagree", b.ID, skew)
+	}
+	b.Addr = key
+	ev, prevAddr := n.table.Observe(b, time.Now())
+	switch ev {
+	case discovery.New:
+		n.mu.Lock()
+		n.addPeerLocked(key)
+		n.mu.Unlock()
+		n.logf("discovered neighbor %d at %s", b.ID, key)
+		// Only first-hand beacons are relayed: an introduction of an
+		// introduction would echo around the mesh forever.
+		if from == key {
+			n.relayIntroduction(data, key)
+		}
+		n.beaconBack(key)
+	case discovery.AddrChanged:
+		n.mu.Lock()
+		if n.peerIndex[prevAddr] != nil {
+			delete(n.peerIndex, prevAddr)
+			kept := n.peers[:0]
+			for _, p := range n.peers {
+				if p.key != prevAddr {
+					kept = append(kept, p)
+				}
+			}
+			n.peers = kept
+		}
+		n.addPeerLocked(key)
+		n.mu.Unlock()
+		n.logf("neighbor %d moved %s → %s", b.ID, prevAddr, key)
+	}
+}
+
+// relayIntroduction passes a first-heard beacon along to every other live
+// peer. With unicast datagrams standing in for a broadcast medium this is
+// what makes discovery transitive: a newcomer announces to one seed and the
+// seed's relays introduce it to the whole neighborhood; receivers then greet
+// the newcomer directly and the mesh closes over the next interval.
+func (n *Node) relayIntroduction(data []byte, origin string) {
+	now := time.Now()
+	n.mu.Lock()
+	targets := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.key == origin || p.backoffUntil.After(now) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		if n.sendTo(data, p) {
+			n.ctr.beaconRelays.Add(1)
+		}
+	}
+}
+
+// beaconBack answers a newly discovered neighbor with our own beacon so it
+// learns us without waiting for our next scheduled announcement.
+func (n *Node) beaconBack(key string) {
+	data, ok := n.encodeBeacon()
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	p := n.peerIndex[key]
+	n.mu.Unlock()
+	if p == nil {
+		return
+	}
+	if n.sendTo(data, p) {
+		n.ctr.beaconsSent.Add(1)
+	}
+}
+
 // applyPopularityLocked mirrors Algorithm 5 on a live node: match, hash the
 // node's user identity into the sketches, enlarge on a visible rank rise.
 // Callers hold n.mu.
@@ -648,16 +893,104 @@ func (n *Node) gossipLoop() {
 	}
 }
 
+// beaconLoop announces the node every BeaconInterval, starting immediately
+// so a cold-started node reaches its seeds without waiting a full interval.
+func (n *Node) beaconLoop() {
+	defer n.wg.Done()
+	n.sendBeacon()
+	ticker := time.NewTicker(n.cfg.BeaconInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+			n.sendBeacon()
+		}
+	}
+}
+
+// encodeBeacon builds the node's current HELLO frame.
+func (n *Node) encodeBeacon() ([]byte, bool) {
+	pos, vel := n.cfg.Position(time.Now())
+	b := discovery.Beacon{
+		ID:    n.cfg.ID,
+		Addr:  n.advertise,
+		Pos:   pos,
+		Vel:   vel,
+		Range: n.cfg.Range,
+		Epoch: n.epochUnix(),
+	}
+	data, err := b.Encode()
+	if err != nil {
+		n.logf("beacon encode: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+// sendBeacon announces the node to every live peer — plus the seeds while
+// the neighbor table is empty, which is both the cold-start bootstrap and
+// the isolation recovery: a node whose whole neighborhood aged out goes
+// back to knocking on its configured doors.
+func (n *Node) sendBeacon() {
+	data, ok := n.encodeBeacon()
+	if !ok {
+		return
+	}
+	now := time.Now()
+	n.mu.Lock()
+	targets := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.backoffUntil.After(now) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	var extras []string
+	if n.table.Empty() {
+		for _, s := range n.seeds {
+			if n.peerIndex[s] == nil && s != n.advertise {
+				extras = append(extras, s)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		if n.sendTo(data, p) {
+			n.ctr.beaconsSent.Add(1)
+		}
+	}
+	// Seeds are contacts, not peers: their send health is not tracked — a
+	// dead seed simply never answers, and an alive one turns into a
+	// neighbor through its beacon.
+	for _, s := range extras {
+		if _, err := n.conn.WriteTo(data, s); err != nil {
+			n.ctr.sendErrors.Add(1)
+			n.logf("beacon to seed %v: %v", s, err)
+			continue
+		}
+		n.ctr.beaconsSent.Add(1)
+	}
+}
+
 // fireDue broadcasts every cached ad whose scheduled time has arrived, and
-// piggybacks the periodic expired-state sweep.
+// piggybacks the periodic expired-state sweeps: the ad cache, the seen set,
+// and — with discovery enabled — the neighbor table, whose expired entries
+// are evicted from the peer set (the membership failure detector).
 func (n *Node) fireDue() {
+	if n.table != nil {
+		for _, nb := range n.table.Sweep(time.Now()) {
+			n.ctr.neighborsExpired.Add(1)
+			n.RemovePeer(nb.Addr)
+			n.logf("neighbor %d (%s) silent past the %v TTL: removed", nb.ID, nb.Addr, n.neighborTTL)
+		}
+	}
 	pos, _ := n.cfg.Position(time.Now())
 	var toSend []*ads.Advertisement
 	n.mu.Lock()
 	now := n.now()
-	for _, e := range n.cache.RemoveExpired(now) {
-		_ = e // expired ads just vanish
-	}
+	n.cache.RemoveExpired(now) // expired ads just vanish
 	n.pruneSeenLocked(now)
 	for _, e := range n.cache.Entries() {
 		if e.ScheduledAt > now {
@@ -698,14 +1031,24 @@ func (n *Node) broadcast(ad *ads.Advertisement) {
 	n.mu.Unlock()
 	n.ctr.broadcasts.Add(1)
 	for _, p := range targets {
-		if _, err := n.conn.WriteToUDP(data, p.addr); err != nil {
-			n.ctr.sendErrors.Add(1)
-			n.peerSendFailed(p, err)
-			continue
+		if n.sendTo(data, p) {
+			n.ctr.sent.Add(1)
 		}
-		n.ctr.sent.Add(1)
-		n.peerSendOK(p)
 	}
+}
+
+// sendTo transmits one frame to a peer and updates its send health,
+// reporting success. The global send-error counter is bumped on failure;
+// what a success counts as (ad sent, beacon sent, relay) is the caller's
+// business.
+func (n *Node) sendTo(data []byte, p *peerState) bool {
+	if _, err := n.conn.WriteTo(data, p.key); err != nil {
+		n.ctr.sendErrors.Add(1)
+		n.peerSendFailed(p, err)
+		return false
+	}
+	n.peerSendOK(p)
+	return true
 }
 
 // peerSendFailed records one failed transmission and trips the peer into

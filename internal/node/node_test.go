@@ -415,19 +415,19 @@ func TestSeenSetPruned(t *testing.T) {
 // writeFilterConn wraps the node's real socket and fails writes to selected
 // destinations, so tests can exercise the per-peer send-health path.
 type writeFilterConn struct {
-	packetConn
+	PacketConn
 	mu      sync.Mutex
 	failFor map[string]bool
 }
 
-func (c *writeFilterConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+func (c *writeFilterConn) WriteTo(b []byte, to string) (int, error) {
 	c.mu.Lock()
-	bad := c.failFor[addr.String()]
+	bad := c.failFor[to]
 	c.mu.Unlock()
 	if bad {
 		return 0, errTestSend
 	}
-	return c.packetConn.WriteToUDP(b, addr)
+	return c.PacketConn.WriteTo(b, to)
 }
 
 var errTestSend = errors.New("injected send failure")
@@ -454,7 +454,7 @@ func TestPeerBackoffAndRemovePeer(t *testing.T) {
 	sink.Start()
 
 	const badAddr = "127.0.0.1:9" // discard port; the wrapper fails it anyway
-	fc := &writeFilterConn{packetConn: n.conn, failFor: map[string]bool{badAddr: true}}
+	fc := &writeFilterConn{PacketConn: n.conn, failFor: map[string]bool{badAddr: true}}
 	n.conn = fc
 	if err := n.AddPeer(sink.Addr()); err != nil {
 		t.Fatal(err)

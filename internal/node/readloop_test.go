@@ -11,13 +11,13 @@ import (
 	"instantad/internal/geo"
 )
 
-// readResult is one scripted outcome for fakeConn.ReadFromUDP.
+// readResult is one scripted outcome for fakeConn.ReadFrom.
 type readResult struct {
 	data []byte
 	err  error
 }
 
-// fakeConn is a scripted packetConn: reads pop queued results and block when
+// fakeConn is a scripted PacketConn: reads pop queued results and block when
 // the queue is empty; writes always succeed. It lets tests drive the read
 // loop through exact error sequences without a real socket.
 type fakeConn struct {
@@ -30,25 +30,23 @@ func newFakeConn() *fakeConn {
 	return &fakeConn{reads: make(chan readResult, 32), closed: make(chan struct{})}
 }
 
-func (c *fakeConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+func (c *fakeConn) ReadFrom(b []byte) (int, string, error) {
 	select {
 	case r := <-c.reads:
-		return copy(b, r.data), &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}, r.err
+		return copy(b, r.data), "127.0.0.1:1", r.err
 	case <-c.closed:
-		return 0, nil, net.ErrClosed
+		return 0, "", net.ErrClosed
 	}
 }
 
-func (c *fakeConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) { return len(b), nil }
+func (c *fakeConn) WriteTo(b []byte, to string) (int, error) { return len(b), nil }
 
 func (c *fakeConn) Close() error {
 	c.once.Do(func() { close(c.closed) })
 	return nil
 }
 
-func (c *fakeConn) LocalAddr() net.Addr {
-	return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
-}
+func (c *fakeConn) LocalAddr() string { return "127.0.0.1:1" }
 
 // newFakeNode builds a node whose socket is a fakeConn (the real one is
 // closed immediately) with fast read backoff for test speed.

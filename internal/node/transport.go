@@ -1,0 +1,13 @@
+package node
+
+import "instantad/internal/node/transport"
+
+// PacketConn and Transport are re-exported from internal/node/transport,
+// the leaf package both the node and the in-memory test network build on.
+type (
+	PacketConn = transport.PacketConn
+	Transport  = transport.Transport
+)
+
+// UDPTransport is the default Transport: real UDP sockets.
+type UDPTransport = transport.UDP

@@ -1,0 +1,96 @@
+// Package transport defines the datagram abstraction the live node runs
+// on. Addresses are opaque strings owned by the Transport that produced the
+// conn, so the same node code runs over real UDP sockets (UDP here) and
+// over the in-memory test network (internal/node/memnet) unchanged. The
+// package sits below both so neither has to import the other.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PacketConn is the datagram socket a node runs on.
+type PacketConn interface {
+	// ReadFrom blocks for the next datagram, reporting the source address.
+	// A closed conn returns an error satisfying errors.Is(err, net.ErrClosed).
+	ReadFrom(b []byte) (n int, from string, err error)
+	// WriteTo sends one datagram toward the address.
+	WriteTo(b []byte, to string) (int, error)
+	Close() error
+	// LocalAddr returns the bound address in the transport's canonical form.
+	LocalAddr() string
+}
+
+// Transport binds sockets and canonicalizes addresses. The canonical form
+// from Resolve is the peer-identity key: two spellings of one destination
+// ("localhost:7001" and "127.0.0.1:7001") must resolve equal.
+type Transport interface {
+	Listen(addr string) (PacketConn, error)
+	Resolve(addr string) (string, error)
+}
+
+// UDP is the default Transport: real UDP sockets.
+type UDP struct{}
+
+// Listen binds a UDP socket on addr.
+func (UDP) Listen(addr string) (PacketConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return &udpPacketConn{conn: conn, dests: make(map[string]*net.UDPAddr)}, nil
+}
+
+// Resolve canonicalizes addr via DNS/literal resolution.
+func (UDP) Resolve(addr string) (string, error) {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", err
+	}
+	return a.String(), nil
+}
+
+// udpPacketConn adapts *net.UDPConn to string addresses. Destinations are
+// resolved once and cached: the node's peer set is small and stable, so the
+// hot send path costs one map hit, not a resolver call.
+type udpPacketConn struct {
+	conn *net.UDPConn
+
+	mu    sync.Mutex
+	dests map[string]*net.UDPAddr
+}
+
+func (c *udpPacketConn) ReadFrom(b []byte) (int, string, error) {
+	n, addr, err := c.conn.ReadFromUDP(b)
+	if err != nil {
+		return n, "", err
+	}
+	return n, addr.String(), nil
+}
+
+func (c *udpPacketConn) WriteTo(b []byte, to string) (int, error) {
+	c.mu.Lock()
+	addr := c.dests[to]
+	c.mu.Unlock()
+	if addr == nil {
+		var err error
+		addr, err = net.ResolveUDPAddr("udp", to)
+		if err != nil {
+			return 0, fmt.Errorf("transport: destination %q: %w", to, err)
+		}
+		c.mu.Lock()
+		c.dests[to] = addr
+		c.mu.Unlock()
+	}
+	return c.conn.WriteToUDP(b, addr)
+}
+
+func (c *udpPacketConn) Close() error { return c.conn.Close() }
+
+func (c *udpPacketConn) LocalAddr() string { return c.conn.LocalAddr().String() }
