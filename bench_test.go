@@ -96,6 +96,23 @@ func BenchmarkFig7NetworkSize(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7Workers runs the Figure 7 dense point (Optimized Gossiping,
+// N = 1000) at several decision-phase worker counts. Results are
+// bit-identical across the sweep — the executor's contract — so ns/op is
+// the only axis that moves; on a multi-core host the parallel rows show the
+// round-decision speedup, on a single core they show the batching overhead.
+func BenchmarkFig7Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sc := benchBase()
+			sc.Protocol = instantad.GossipOpt
+			sc.NumPeers = 1000
+			sc.Workers = w
+			runAndReport(b, sc)
+		})
+	}
+}
+
 // BenchmarkFig8Speed reproduces Figure 8(a–c): the three metrics per
 // protocol at slow and fast motion (N = 300).
 func BenchmarkFig8Speed(b *testing.B) {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"instantad"
 	"instantad/internal/config"
@@ -44,6 +45,7 @@ func main() {
 		lossRate   = flag.Float64("loss", 0, "per-link frame loss probability")
 		collisions = flag.Bool("collisions", false, "enable receiver-side collision model")
 		seed       = flag.Uint64("seed", 1, "base random seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
 		reps       = flag.Int("reps", 1, "replications (consecutive seeds)")
 		verbose    = flag.Bool("v", false, "print the full per-ad report")
 		showMap    = flag.Bool("map", false, "print ASCII field snapshots during the ad's life")
@@ -96,6 +98,13 @@ func main() {
 	override("loss", func() { sc.LossRate = *lossRate })
 	override("collisions", func() { sc.Collisions = *collisions })
 	override("seed", func() { sc.Seed = *seed })
+	override("workers", func() { sc.Workers = *workers })
+	// Default-on parallelism: a config file may pin Workers, but when nothing
+	// chose a value the simulator uses every core — safe because results are
+	// bit-identical for any worker count.
+	if sc.Workers == 0 {
+		sc.Workers = runtime.GOMAXPROCS(0)
+	}
 
 	if *saveConfig != "" {
 		if err := config.Save(*saveConfig, sc); err != nil {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -20,15 +21,16 @@ import (
 
 func main() {
 	var (
-		peers  = flag.Int("peers", 300, "number of peers")
-		cacheK = flag.Int("cache", 10, "per-peer cache capacity")
-		radius = flag.Float64("R", 400, "ad radius, m")
-		life   = flag.Float64("D", 120, "ad duration, s")
-		window = flag.Float64("window", 600, "injection window, s")
-		rates  = flag.String("rates", "1,2,4,8,12", "ads/minute sweep (comma-separated)")
-		skew   = flag.Float64("skew", 0.8, "category Zipf skew")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		percat = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
+		peers   = flag.Int("peers", 300, "number of peers")
+		cacheK  = flag.Int("cache", 10, "per-peer cache capacity")
+		radius  = flag.Float64("R", 400, "ad radius, m")
+		life    = flag.Float64("D", 120, "ad duration, s")
+		window  = flag.Float64("window", 600, "injection window, s")
+		rates   = flag.String("rates", "1,2,4,8,12", "ads/minute sweep (comma-separated)")
+		skew    = flag.Float64("skew", 0.8, "category Zipf skew")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
+		percat  = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
 	)
 	flag.Parse()
 
@@ -46,6 +48,7 @@ func main() {
 	sc.NumPeers = *peers
 	sc.CacheK = *cacheK
 	sc.Seed = *seed
+	sc.Workers = *workers
 	sc.SimTime = 60 + *window + *life + 60
 
 	base := instantad.CampaignConfig{

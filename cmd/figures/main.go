@@ -33,6 +33,7 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress lines")
 		chart      = flag.Bool("chart", false, "render ASCII charts alongside the tables")
 		csvDir     = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -90,6 +91,13 @@ func main() {
 			opts.Reps = 1
 		}
 	}
+	// Thread the worker count through the base scenario every sweep point
+	// starts from (materializing the default base first so RunOpts still
+	// sees it as explicitly set).
+	if opts.Base.NumPeers == 0 {
+		opts.Base = instantad.DefaultScenario()
+	}
+	opts.Base.Workers = *workers
 
 	show := func(f instantad.Figure, err error) {
 		if err != nil {

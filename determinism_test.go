@@ -2,6 +2,7 @@ package instantad_test
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"instantad/internal/core"
@@ -94,6 +95,55 @@ func TestRunDeterminism(t *testing.T) {
 			}
 			if !reflect.DeepEqual(a.Result, b.Result) {
 				t.Errorf("results diverged between identical runs:\n  first:  %+v\n  second: %+v", a.Result, b.Result)
+			}
+		})
+	}
+}
+
+// TestRunDeterminismAcrossWorkers is the parallel executor's equivalence
+// gate: the same scenario must produce bit-for-bit identical metrics and
+// channel counters whether round batches decide on one worker or many
+// (including oversubscribed on a single core). The two-phase contract this
+// verifies end to end: decisions draw only per-peer streams on shard-affine
+// workers, every shared-stream draw and mutation happens in the sequential
+// commit phase in scheduling order.
+func TestRunDeterminismAcrossWorkers(t *testing.T) {
+	base := experiment.DefaultScenario()
+	base.SimTime = 400
+
+	many := runtime.GOMAXPROCS(0) + 2 // >1 even on a single-core host
+
+	cases := []struct {
+		name string
+		mut  func(*experiment.Scenario)
+	}{
+		{"gossiping", func(sc *experiment.Scenario) { sc.Protocol = core.Gossip }},
+		{"optimized-gossiping-1", func(sc *experiment.Scenario) { sc.Protocol = core.GossipOpt1 }},
+		{"optimized-gossiping-2", func(sc *experiment.Scenario) { sc.Protocol = core.GossipOpt2 }},
+		{"optimized-gossiping", func(sc *experiment.Scenario) { sc.Protocol = core.GossipOpt }},
+		{"impaired-channel", func(sc *experiment.Scenario) {
+			sc.Protocol = core.GossipOpt
+			sc.Collisions = true
+			sc.LossRate = 0.1
+			sc.FadeZone = 20
+			sc.ChurnOnMean = 300
+			sc.ChurnOffMean = 60
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := base
+			tc.mut(&seq)
+			seq.Workers = 1
+			par := seq
+			par.Workers = many
+			a := runFingerprint(t, seq)
+			b := runFingerprint(t, par)
+			if !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Errorf("channel stats diverged between workers=1 and workers=%d:\n  seq: %+v\n  par: %+v", many, a.Stats, b.Stats)
+			}
+			if !reflect.DeepEqual(a.Result, b.Result) {
+				t.Errorf("results diverged between workers=1 and workers=%d:\n  seq: %+v\n  par: %+v", many, a.Result, b.Result)
 			}
 		})
 	}

@@ -17,12 +17,20 @@ type Entry struct {
 	// ScheduledAt is the per-entry next gossip time under Optimized
 	// Gossiping-2 (every entry gossips together each round otherwise).
 	ScheduledAt float64
+	// Slot is the integer index of ScheduledAt on the protocol's slotted
+	// round grid. Like Timer it is owned by the protocol: slot times are
+	// always recomputed as index×width from this counter so that entries
+	// meant to coincide land on bit-identical float64 instants.
+	Slot int64
 	// Timer is an opaque handle owned by the protocol (a *sim.Event); the
 	// cache only carries it so eviction can hand it back for cancellation.
 	Timer any
 	// Shared marks Ad as a copy-on-write snapshot that in-flight frames or
 	// other peers' caches may also reference; mutate it only through Own.
 	Shared bool
+
+	// pos is the entry's slot in Cache.order, -1 once removed.
+	pos int
 }
 
 // Own returns the entry's ad for mutation, first replacing a shared
@@ -40,10 +48,16 @@ func (e *Entry) Own() *Advertisement {
 // at most k ads, evicting the one with the lowest forwarding probability when
 // an insert overflows (Algorithm 1). The zero value is not usable; construct
 // with NewCache.
+//
+// Iteration is in insertion order, deterministically. Removal is
+// O(1)-amortized: each entry remembers its slot in the order slice, removal
+// leaves a nil tombstone there, and the slice is compacted (preserving
+// relative order) once tombstones outnumber live entries.
 type Cache struct {
 	k       int
 	entries map[ID]*Entry
-	order   []ID // insertion order, for deterministic iteration
+	order   []*Entry // insertion order; nil slots are tombstones
+	scratch []*Entry // reusable RemoveExpired result buffer
 }
 
 // NewCache returns an empty cache that holds at most k ads. It panics if
@@ -77,10 +91,40 @@ func (c *Cache) Insert(ad *Advertisement, prob float64) (e *Entry, overflow bool
 	if _, dup := c.entries[ad.ID]; dup {
 		panic(fmt.Sprintf("ads: duplicate insert of %v", ad.ID))
 	}
-	e = &Entry{Ad: ad, Prob: prob}
+	e = &Entry{Ad: ad, Prob: prob, pos: len(c.order)}
 	c.entries[ad.ID] = e
-	c.order = append(c.order, ad.ID)
+	c.order = append(c.order, e)
 	return e, len(c.entries) > c.k
+}
+
+// unlink detaches e from the map and leaves a tombstone in order. The caller
+// decides when to compact (Remove does it immediately; RemoveExpired defers
+// to after its sweep so the slice never shifts mid-iteration).
+func (c *Cache) unlink(e *Entry) {
+	delete(c.entries, e.Ad.ID)
+	c.order[e.pos] = nil
+	e.pos = -1
+}
+
+// maybeCompact rewrites order in place without tombstones once they
+// outnumber the live entries (plus slack for tiny caches), keeping removal
+// O(1) amortized and iteration O(live).
+func (c *Cache) maybeCompact() {
+	if len(c.order)-len(c.entries) <= len(c.entries)+4 {
+		return
+	}
+	w := 0
+	for _, e := range c.order {
+		if e != nil {
+			c.order[w] = e
+			e.pos = w
+			w++
+		}
+	}
+	for i := w; i < len(c.order); i++ {
+		c.order[i] = nil // release tombstoned slots for the GC
+	}
+	c.order = c.order[:w]
 }
 
 // Remove deletes the entry for id and returns it (nil when absent).
@@ -89,13 +133,8 @@ func (c *Cache) Remove(id ID) *Entry {
 	if !ok {
 		return nil
 	}
-	delete(c.entries, id)
-	for i, oid := range c.order {
-		if oid == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
-	}
+	c.unlink(e)
+	c.maybeCompact()
 	return e
 }
 
@@ -103,39 +142,55 @@ func (c *Cache) Remove(id ID) *Entry {
 // breaking ties by insertion order (oldest first). It returns nil when the
 // cache is empty.
 func (c *Cache) EvictLowest() *Entry {
-	var victim ID
-	found := false
-	best := 0.0
-	for _, id := range c.order {
-		e := c.entries[id]
-		if !found || e.Prob < best {
-			victim, best, found = id, e.Prob, true
+	var victim *Entry
+	for _, e := range c.order {
+		if e != nil && (victim == nil || e.Prob < victim.Prob) {
+			victim = e
 		}
 	}
-	if !found {
+	if victim == nil {
 		return nil
 	}
-	return c.Remove(victim)
+	c.unlink(victim)
+	c.maybeCompact()
+	return victim
 }
 
 // EvictOldest removes and returns the earliest-inserted entry (FIFO), or
 // nil when empty. Provided for the eviction-policy ablation; the paper's
 // rule is EvictLowest.
 func (c *Cache) EvictOldest() *Entry {
-	if len(c.order) == 0 {
-		return nil
+	for _, e := range c.order {
+		if e != nil {
+			c.unlink(e)
+			c.maybeCompact()
+			return e
+		}
 	}
-	return c.Remove(c.order[0])
+	return nil
 }
 
 // Entries returns the cached entries in insertion order. The slice is fresh
 // but the entries are shared; callers may mutate Prob/ScheduledAt in place.
 func (c *Cache) Entries() []*Entry {
 	out := make([]*Entry, 0, len(c.entries))
-	for _, id := range c.order {
-		out = append(out, c.entries[id])
+	for _, e := range c.order {
+		if e != nil {
+			out = append(out, e)
+		}
 	}
 	return out
+}
+
+// ForEach calls fn for every cached entry in insertion order without
+// allocating — the hot-path alternative to Entries. fn must not insert or
+// remove entries (mutating Prob/ScheduledAt in place is fine).
+func (c *Cache) ForEach(fn func(*Entry)) {
+	for _, e := range c.order {
+		if e != nil {
+			fn(e)
+		}
+	}
 }
 
 // IDs returns the cached ad IDs sorted for stable test output.
@@ -154,13 +209,17 @@ func (c *Cache) IDs() []ID {
 }
 
 // RemoveExpired deletes every entry whose ad has expired at time now and
-// returns the removed entries.
+// returns the removed entries in insertion order. The returned slice is a
+// reused scratch buffer, valid until the next RemoveExpired call on this
+// cache — consume it before calling again.
 func (c *Cache) RemoveExpired(now float64) []*Entry {
-	var removed []*Entry
-	for _, id := range append([]ID(nil), c.order...) {
-		if e := c.entries[id]; e != nil && e.Ad.Expired(now) {
-			removed = append(removed, c.Remove(id))
+	c.scratch = c.scratch[:0]
+	for _, e := range c.order {
+		if e != nil && e.Ad.Expired(now) {
+			c.unlink(e)
+			c.scratch = append(c.scratch, e)
 		}
 	}
-	return removed
+	c.maybeCompact()
+	return c.scratch
 }

@@ -1,0 +1,82 @@
+package ads
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchAd builds a distinct ad for slot i with the given expiry horizon.
+func benchAd(i int, d float64) *Advertisement {
+	return &Advertisement{
+		ID:       ID{Issuer: uint32(i), Seq: uint32(i)},
+		IssuedAt: 0,
+		R:        500,
+		D:        d,
+		Category: "bench",
+	}
+}
+
+// BenchmarkCacheRemove measures targeted removal plus reinsertion at several
+// occupancies — the pattern entry-timer expiry and eviction follow. The old
+// implementation scanned the order slice per removal (O(k)); the tombstone
+// scheme is O(1) amortized.
+func BenchmarkCacheRemove(b *testing.B) {
+	for _, k := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			c := NewCache(k)
+			ads := make([]*Advertisement, k)
+			for i := range ads {
+				ads[i] = benchAd(i, 1e9)
+				c.Insert(ads[i], 0.5)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				victim := ads[i%k]
+				if c.Remove(victim.ID) == nil {
+					b.Fatal("missing entry")
+				}
+				c.Insert(victim, 0.5)
+			}
+		})
+	}
+}
+
+// BenchmarkCacheRemoveExpired measures the per-round expiry sweep with
+// nothing expired — the steady-state case every gossip round pays on every
+// peer. The old implementation copied the whole order slice per call.
+func BenchmarkCacheRemoveExpired(b *testing.B) {
+	for _, k := range []int{10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			c := NewCache(k)
+			for i := 0; i < k; i++ {
+				c.Insert(benchAd(i, 1e9), 0.5)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := c.RemoveExpired(1.0); len(got) != 0 {
+					b.Fatal("unexpected expiry")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheChurn mixes inserts, expiring sweeps and lowest-probability
+// evictions — the full Algorithm 1 overflow cycle.
+func BenchmarkCacheChurn(b *testing.B) {
+	const k = 10
+	c := NewCache(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad := benchAd(i, float64(i%50)+1)
+		if _, overflow := c.Insert(ad, float64(i%97)/97); overflow {
+			c.EvictLowest()
+		}
+		if i%7 == 0 {
+			c.RemoveExpired(float64(i % 45))
+		}
+	}
+}

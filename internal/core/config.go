@@ -129,6 +129,10 @@ func (c PopularityConfig) validate() error {
 	return nil
 }
 
+// DefaultRoundSlots is the round-phase grid used when Config.RoundSlots is
+// zero: 64 slots per round (≈0.47 s at the paper's Δt = 30 s).
+const DefaultRoundSlots = 64
+
 // EvictionPolicy selects the cache-overflow victim rule.
 type EvictionPolicy int
 
@@ -155,6 +159,15 @@ type Config struct {
 	// The physical lower bound is V_max·Δt; the paper extends it (to R/4 in
 	// the experiments) to keep delivery high in sparse networks.
 	DIS float64
+	// RoundSlots quantizes each round into this many equal phase slots:
+	// per-peer round offsets and Optimized Gossiping-2 entry timers land on
+	// the grid k·RoundTime/RoundSlots instead of arbitrary real offsets.
+	// Quantization lets same-slot timers share one bit-identical simulation
+	// instant, which is what makes round events batchable by the parallel
+	// executor. Zero selects DefaultRoundSlots; with the default 64 slots the
+	// phase granularity is well under the channel's jitter, so dissemination
+	// statistics are unaffected.
+	RoundSlots int
 	// CacheK is the Store & Forward cache capacity per peer.
 	CacheK int
 	// Eviction selects the overflow victim rule (default: the paper's
@@ -174,6 +187,9 @@ func (c Config) Validate() error {
 	}
 	if c.RoundTime <= 0 {
 		return fmt.Errorf("core: non-positive round time %v", c.RoundTime)
+	}
+	if c.RoundSlots < 0 {
+		return fmt.Errorf("core: negative round slots %d", c.RoundSlots)
 	}
 	if c.Protocol.usesOpt1() && c.DIS <= 0 {
 		return fmt.Errorf("core: %v requires positive DIS", c.Protocol)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"instantad/internal/ads"
 	"instantad/internal/geo"
@@ -114,6 +115,16 @@ type Network struct {
 	obs   Observer
 	rnd   *rng.Stream
 
+	// slotW is the round-phase slot width RoundTime/RoundSlots. Round and
+	// entry-timer instants are always recomputed as slot·slotW from integer
+	// slot counters, never accumulated in floating point, so every event
+	// meant for the same slot lands on a bit-identical instant — the
+	// precondition for batching them.
+	slotW float64
+	// scratch holds one radio query context per decision-phase worker,
+	// grown lazily in batchPrepare.
+	scratch []*radio.QueryScratch
+
 	started bool
 }
 
@@ -129,17 +140,22 @@ func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg C
 		return nil, fmt.Errorf("core: no peers")
 	}
 	cfg.Popularity = cfg.Popularity.withDefaults()
+	if cfg.RoundSlots == 0 {
+		cfg.RoundSlots = DefaultRoundSlots
+	}
 	n := &Network{
-		cfg: cfg,
-		sim: s,
-		obs: BaseObserver{},
-		rnd: rnd,
+		cfg:   cfg,
+		sim:   s,
+		obs:   BaseObserver{},
+		rnd:   rnd,
+		slotW: cfg.RoundTime / float64(cfg.RoundSlots),
 	}
 	ch, err := radio.New(s, radioCfg, models, n.deliver, rnd.Split("radio"))
 	if err != nil {
 		return nil, err
 	}
 	n.ch = ch
+	s.SetBatchPrepare(n.batchPrepare)
 	n.peers = make([]*Peer, len(models))
 	for i := range models {
 		n.peers[i] = &Peer{
@@ -154,6 +170,27 @@ func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg C
 		}
 	}
 	return n, nil
+}
+
+// batchPrepare runs sequentially before every split-event batch's decision
+// phase: it brings the channel's spatial snapshot current (so concurrent
+// decides query one fixed grid and the snapshot does not depend on the
+// worker count) and sizes the per-worker query scratch.
+func (n *Network) batchPrepare() {
+	n.ch.RefreshGrid()
+	for len(n.scratch) < n.sim.Workers() {
+		n.scratch = append(n.scratch, n.ch.NewQueryScratch())
+	}
+}
+
+// slotAfter returns the first slot index whose instant is ≥ t. The guard
+// loop absorbs the one-ULP case where float64(k)·slotW rounds below t.
+func (n *Network) slotAfter(t float64) int64 {
+	k := int64(math.Ceil(t / n.slotW))
+	for float64(k)*n.slotW < t {
+		k++
+	}
+	return k
 }
 
 // SetObserver installs the metrics observer. It must be called before Start;
@@ -190,10 +227,12 @@ func (n *Network) SetPeerOnline(i int, on bool) error {
 }
 
 // Start arms the per-peer gossip schedulers. For round-based variants every
-// peer gets a ticker with a random phase in [0, Δt) — the paper's peers
-// "work asynchronously". Under Optimized Gossiping-2 entries schedule
-// themselves, so no per-peer ticker is needed. Start must be called exactly
-// once, before the simulation runs past 0.
+// peer's round fires at a random phase slot of [0, Δt) — the paper's peers
+// "work asynchronously"; slot quantization (Config.RoundSlots) keeps the
+// phase spread while letting same-slot peers share one batchable instant.
+// Under Optimized Gossiping-2 entries schedule themselves, so no per-peer
+// round event is needed. Start must be called exactly once, before the
+// simulation runs past 0.
 func (n *Network) Start() {
 	if n.started {
 		panic("core: Network.Start called twice")
@@ -207,8 +246,9 @@ func (n *Network) Start() {
 	case n.cfg.Protocol.isGossip() && !n.cfg.Protocol.usesOpt2():
 		for _, p := range n.peers {
 			p := p
-			offset := p.rnd.Range(0, n.cfg.RoundTime)
-			p.ticker = n.sim.Every(offset, n.cfg.RoundTime, p.gossipRound)
+			p.roundSlot = int64(p.rnd.Intn(n.cfg.RoundSlots))
+			p.roundEv = n.sim.ScheduleSplit(float64(p.roundSlot)*n.slotW,
+				p.id, p.gossipDecide, p.gossipCommit)
 		}
 	}
 }
@@ -312,6 +352,21 @@ type Peer struct {
 	nextSeq   uint32
 	ticker    *sim.Ticker
 
+	// roundEv and roundSlot drive the round-based gossip variants: one split
+	// event per peer, rescheduled a whole round (RoundSlots slots) ahead
+	// after each commit.
+	roundEv   *sim.Event
+	roundSlot int64
+
+	// pendActs is the FIFO of decisions taken in the current batch's parallel
+	// phase, awaiting sequential commit; actHead is the next act to commit
+	// and pendRecv the arena that actSend receiver lists slice into. All
+	// three are owned by this peer's shard: the executor runs every decide
+	// of one peer on one worker, in order, and all commits sequentially.
+	pendActs []entryAct
+	actHead  int
+	pendRecv []int
+
 	// received marks ads this peer has ever heard (delivery bookkeeping).
 	received map[ads.ID]bool
 	// relayed maps ad → flooding relay bookkeeping; entries are pruned once
@@ -358,9 +413,15 @@ func (p *Peer) Position() geo.Point { return p.net.ch.PositionOf(p.id) }
 // forwardProb evaluates the protocol's probability function for ad at the
 // peer's current position and the current time.
 func (p *Peer) forwardProb(ad *ads.Advertisement) float64 {
+	return p.forwardProbAt(ad, p.Position(), p.net.sim.Now())
+}
+
+// forwardProbAt is forwardProb at an explicit position and time — pure, so
+// decision phases can call it with a scratch-queried position.
+func (p *Peer) forwardProbAt(ad *ads.Advertisement, pos geo.Point, now float64) float64 {
 	n := p.net
-	d := p.Position().Dist(ad.Origin)
-	age := ad.Age(n.sim.Now())
+	d := pos.Dist(ad.Origin)
+	age := ad.Age(now)
 	if n.cfg.Protocol.usesOpt1() {
 		return ForwardProbOpt1(n.cfg.Params, d, ad.R, ad.D, age, n.cfg.DIS)
 	}
@@ -382,6 +443,19 @@ func (p *Peer) broadcastAd(e *ads.Entry) {
 	bytes := snap.WireSize()
 	p.net.obs.OnBroadcast(p.id, snap.ID, bytes, p.net.sim.Now())
 	p.net.ch.Broadcast(radio.Frame{From: p.id, Payload: gossipFrame{ad: snap}, Bytes: bytes})
+}
+
+// broadcastAdTo is broadcastAd against a receiver list computed in the
+// decision phase, for commits whose neighbor query already ran in parallel.
+func (p *Peer) broadcastAdTo(e *ads.Entry, recv []int) {
+	if !p.net.ch.Online(p.id) {
+		return
+	}
+	snap := e.Ad
+	e.Shared = true
+	bytes := snap.WireSize()
+	p.net.obs.OnBroadcast(p.id, snap.ID, bytes, p.net.sim.Now())
+	p.net.ch.BroadcastTo(radio.Frame{From: p.id, Payload: gossipFrame{ad: snap}, Bytes: bytes}, recv)
 }
 
 // markReceived records delivery and fires OnFirstReceive exactly once.
@@ -483,28 +557,117 @@ func (p *Peer) evictOne() {
 	p.net.obs.OnEvict(p.id, victim.Ad.ID, p.net.sim.Now())
 }
 
-// gossipRound implements Algorithm 2: refresh probabilities, drop expired
-// ads, then broadcast each cached ad with its probability. It runs once per
-// round on every peer under round-based gossip variants.
-func (p *Peer) gossipRound() {
-	now := p.net.sim.Now()
-	for _, e := range p.cache.RemoveExpired(now) {
-		p.net.obs.OnExpire(p.id, e.Ad.ID, now)
-	}
-	for _, e := range p.cache.Entries() {
-		e.Prob = p.forwardProb(e.Ad)
-		if p.rnd.Bool(e.Prob) {
-			p.broadcastAd(e)
-		}
-	}
+// actKind is the outcome a decision phase recorded for one cache entry.
+type actKind uint8
+
+const (
+	// actGone marks a decide whose entry vanished — a placeholder so the
+	// decide/commit FIFO stays aligned; commit skips it.
+	actGone actKind = iota
+	// actExpire removes the entry and fires OnExpire at commit.
+	actExpire
+	// actKeep refreshes the entry's probability without broadcasting.
+	actKeep
+	// actSend refreshes the probability and broadcasts to the receiver list
+	// pendRecv[r0:r1] captured at decide time.
+	actSend
+)
+
+// entryAct is one entry's gossip decision, taken in the parallel decision
+// phase and applied by the sequential commit phase.
+type entryAct struct {
+	e      *ads.Entry
+	id     ads.ID
+	prob   float64
+	r0, r1 int32 // actSend receiver range in Peer.pendRecv
+	kind   actKind
 }
 
-// armEntryTimer schedules an entry's first gossip one round from now
-// (Optimized Gossiping-2 gives every cache entry its own time handler).
+// decideEntry evaluates Algorithm 2/4's per-entry round step without side
+// effects on shared state: expiry check, probability refresh at the
+// scratch-queried position, the forwarding coin flip from this peer's own
+// RNG stream, and — on a send — the neighbor query, into peer-owned
+// buffers. The matching mutations happen later in commitAct.
+func (p *Peer) decideEntry(e *ads.Entry, qs *radio.QueryScratch, now float64) {
+	act := entryAct{e: e, id: e.Ad.ID}
+	if e.Ad.Expired(now) {
+		act.kind = actExpire
+		p.pendActs = append(p.pendActs, act)
+		return
+	}
+	act.prob = p.forwardProbAt(e.Ad, qs.PositionOf(p.id), now)
+	// The coin flip comes first so the peer's stream consumption does not
+	// depend on its online state, mirroring the sequential round's
+	// draw-then-try-to-send order.
+	if p.rnd.Bool(act.prob) && p.net.ch.Online(p.id) {
+		act.kind = actSend
+		act.r0 = int32(len(p.pendRecv))
+		p.pendRecv = qs.AppendNeighborsOf(p.pendRecv, p.id)
+		act.r1 = int32(len(p.pendRecv))
+	} else {
+		act.kind = actKeep
+	}
+	p.pendActs = append(p.pendActs, act)
+}
+
+// commitAct applies the oldest pending decision: cache mutation, observer
+// callbacks and the broadcast with its shared-stream jitter/impairment
+// draws. Once the FIFO drains the buffers reset for the next batch.
+func (p *Peer) commitAct() entryAct {
+	act := p.pendActs[p.actHead]
+	p.actHead++
+	switch act.kind {
+	case actExpire:
+		p.cache.Remove(act.id)
+		p.net.obs.OnExpire(p.id, act.id, p.net.sim.Now())
+	case actKeep:
+		act.e.Prob = act.prob
+	case actSend:
+		act.e.Prob = act.prob
+		p.broadcastAdTo(act.e, p.pendRecv[act.r0:act.r1])
+	}
+	if p.actHead == len(p.pendActs) {
+		p.actHead = 0
+		p.pendActs = p.pendActs[:0]
+		p.pendRecv = p.pendRecv[:0]
+	}
+	return act
+}
+
+// gossipDecide is Algorithm 2's decision phase: one pass over the cache
+// recording, per entry, whether it expires, keeps quiet or broadcasts — and
+// to whom. It runs on a decision-phase worker; everything it touches is
+// owned by this peer's shard or read-only.
+func (p *Peer) gossipDecide(worker int) {
+	n := p.net
+	qs := n.scratch[worker]
+	now := n.sim.Now()
+	p.cache.ForEach(func(e *ads.Entry) { p.decideEntry(e, qs, now) })
+}
+
+// gossipCommit applies the round's decisions in cache order and reschedules
+// the peer's next round a whole round (RoundSlots slots) ahead on the slot
+// grid.
+func (p *Peer) gossipCommit() {
+	for p.actHead < len(p.pendActs) {
+		p.commitAct()
+	}
+	n := p.net
+	p.roundSlot += int64(n.cfg.RoundSlots)
+	n.sim.Reschedule(p.roundEv, float64(p.roundSlot)*n.slotW)
+}
+
+// armEntryTimer schedules an entry's first gossip one round from now,
+// rounded up to the slot grid (Optimized Gossiping-2 gives every cache
+// entry its own time handler; slotting makes coinciding timers batchable).
 func (p *Peer) armEntryTimer(e *ads.Entry) {
 	id := e.Ad.ID
-	e.ScheduledAt = p.net.sim.Now() + p.net.cfg.RoundTime
-	e.Timer = p.net.sim.Schedule(e.ScheduledAt, func() { p.entryFire(id) })
+	n := p.net
+	e.Slot = n.slotAfter(n.sim.Now() + n.cfg.RoundTime)
+	e.ScheduledAt = float64(e.Slot) * n.slotW
+	e.Timer = n.sim.ScheduleSplit(e.ScheduledAt, p.id,
+		func(worker int) { p.entryDecide(id, worker) },
+		func() { p.entryCommit() })
 }
 
 // cancelEntryTimer cancels an evicted/expired entry's pending timer.
@@ -514,40 +677,52 @@ func (p *Peer) cancelEntryTimer(e *ads.Entry) {
 	}
 }
 
-// entryFire implements Algorithm 4: when an entry's scheduled time arrives,
-// refresh its probability, broadcast with that probability, and reschedule
-// one round later.
-func (p *Peer) entryFire(id ads.ID) {
+// entryDecide is Algorithm 4's decision phase for one entry timer. Several
+// timers of one peer may share a slot; shard affinity runs their decides in
+// seq order on one worker, so the FIFO lines up with the commit order.
+func (p *Peer) entryDecide(id ads.ID, worker int) {
 	e := p.cache.Get(id)
 	if e == nil {
+		p.pendActs = append(p.pendActs, entryAct{id: id, kind: actGone})
 		return
 	}
-	now := p.net.sim.Now()
-	if e.Ad.Expired(now) {
-		p.cache.Remove(id)
-		p.net.obs.OnExpire(p.id, id, now)
+	p.decideEntry(e, p.net.scratch[worker], p.net.sim.Now())
+}
+
+// entryCommit applies one entry timer's decision and, when the entry
+// survives, reschedules it one round of slots later (Algorithm 4's
+// "reschedule at t+Δt").
+func (p *Peer) entryCommit() {
+	act := p.commitAct()
+	if act.kind != actKeep && act.kind != actSend {
 		return
 	}
-	e.Prob = p.forwardProb(e.Ad)
-	if p.rnd.Bool(e.Prob) {
-		p.broadcastAd(e)
-	}
-	e.ScheduledAt = now + p.net.cfg.RoundTime
+	n := p.net
+	e := act.e
+	e.Slot += int64(n.cfg.RoundSlots)
+	e.ScheduledAt = float64(e.Slot) * n.slotW
 	if ev, ok := e.Timer.(*sim.Event); ok {
-		p.net.sim.Reschedule(ev, e.ScheduledAt)
+		n.sim.Reschedule(ev, e.ScheduledAt)
 	}
 }
 
 // postpone implements Algorithm 3's overhearing rule (Formula 4): push the
 // entry's next gossip back by Δt·e^(p·(1+cos θ)/2), where p is the
 // transmission-area overlap with the overheard sender and θ the angle
-// between this peer's velocity and the line toward the sender.
+// between this peer's velocity and the line toward the sender. The interval
+// is rounded up to whole slots (at least one) so the timer stays on the
+// grid.
 func (p *Peer) postpone(e *ads.Entry, from int) {
 	n := p.net
 	overlap := n.ch.OverlapWith(from, p.id)
 	toSender := n.ch.PositionOf(from).Sub(n.ch.PositionOf(p.id))
 	theta := geo.AngleBetween(n.ch.VelocityOf(p.id), toSender)
-	e.ScheduledAt += PostponeInterval(n.cfg.RoundTime, overlap, theta)
+	slots := int64(math.Ceil(PostponeInterval(n.cfg.RoundTime, overlap, theta) / n.slotW))
+	if slots < 1 {
+		slots = 1
+	}
+	e.Slot += slots
+	e.ScheduledAt = float64(e.Slot) * n.slotW
 	if ev, ok := e.Timer.(*sim.Event); ok {
 		n.sim.Reschedule(ev, e.ScheduledAt)
 	}

@@ -549,6 +549,15 @@ func TestEvictionPolicies(t *testing.T) {
 	n.Start()
 	var adA, adB *ads.Advertisement
 	s.Schedule(1, func() { adA, _ = n.IssueAd(0, AdSpec{R: 800, D: 600}) })
+	// A's issuer goes offline once A has spread (the paper's issue-then-
+	// vanish scenario). After B evicts A from every remaining cache nobody
+	// can re-gossip A, so the FIFO outcome no longer depends on which ad a
+	// late round happens to rebroadcast last.
+	s.Schedule(5, func() {
+		if err := n.SetPeerOnline(0, false); err != nil {
+			t.Errorf("SetPeerOnline: %v", err)
+		}
+	})
 	s.Schedule(30, func() { adB, _ = n.IssueAd(2, AdSpec{R: 220, D: 600}) })
 	s.Run(200)
 	c := n.Peer(1).Cache()

@@ -117,6 +117,14 @@ type Scenario struct {
 	SimTime     float64
 	SampleEvery float64
 	Seed        uint64
+	// Workers sets the simulator's decision-phase parallelism for gossip
+	// round batches. Any value ≥ 1 produces bit-identical results to 1 —
+	// the two-phase executor only parallelizes the read-only decision half
+	// of each round (see docs/PERFORMANCE.md). Zero means 1 (sequential).
+	Workers int
+	// RoundSlots overrides the per-round phase quantization
+	// (core.Config.RoundSlots); zero selects the default 64.
+	RoundSlots int
 }
 
 // DefaultScenario returns the canonical parameters of Table II/III as
@@ -199,6 +207,12 @@ func (sc Scenario) Validate() error {
 	if sc.ChurnOnMean < 0 || sc.ChurnOffMean < 0 {
 		return fmt.Errorf("experiment: negative churn mean")
 	}
+	if sc.Workers < 0 {
+		return fmt.Errorf("experiment: negative workers %d", sc.Workers)
+	}
+	if sc.RoundSlots < 0 {
+		return fmt.Errorf("experiment: negative round slots %d", sc.RoundSlots)
+	}
 	return nil
 }
 
@@ -236,6 +250,7 @@ func (sc Scenario) coreConfig() core.Config {
 		Protocol:   sc.Protocol,
 		Params:     core.ProbParams{Alpha: sc.Alpha, Beta: sc.Beta, DistUnit: sc.DistUnit, TimeUnit: sc.TimeUnit},
 		RoundTime:  sc.RoundTime,
+		RoundSlots: sc.RoundSlots,
 		DIS:        sc.dis(),
 		CacheK:     sc.CacheK,
 		Eviction:   sc.Eviction,
@@ -391,6 +406,7 @@ func (sc Scenario) Build() (*Sim, error) {
 		return nil, err
 	}
 	s := sim.New()
+	s.SetWorkers(sc.Workers)
 	net, err := core.New(s, sc.radioConfig(), models, sc.coreConfig(), rnd.Split("protocol"))
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -285,5 +286,58 @@ func TestDeliveryTimePercentiles(t *testing.T) {
 	if rep.P95 > rep.DeliveryTimes.Max+1e-9 || rep.P50 < rep.DeliveryTimes.Min-1e-9 {
 		t.Errorf("percentiles outside [min,max]: P50=%v P95=%v range [%v,%v]",
 			rep.P50, rep.P95, rep.DeliveryTimes.Min, rep.DeliveryTimes.Max)
+	}
+}
+
+// TestNoTrafficReportFinite is the zero-denominator regression gate: an ad
+// whose advertising area never contains a single peer (and a collector that
+// saw no traffic at all) must report all-zero rates — never NaN or ±Inf,
+// which would poison downstream aggregation and break JSON encoding
+// (encoding/json rejects non-finite float64s).
+func TestNoTrafficReportFinite(t *testing.T) {
+	models := []mobility.Model{
+		mobility.NewStatic(geo.Point{X: 0, Y: 0}),
+		mobility.NewStatic(geo.Point{X: 100, Y: 0}),
+	}
+	s, n, col := buildNet(t, models, coreConfig())
+	n.Start()
+	// Track an ad centered 50 km away: nobody ever enters, nothing is
+	// delivered, no frame is attributed to it.
+	far := &ads.Advertisement{
+		ID:       ads.ID{Issuer: 0, Seq: 7},
+		Origin:   geo.Point{X: 50000, Y: 50000},
+		IssuedAt: 0,
+		R:        500,
+		D:        100,
+	}
+	col.OnIssue(0, far, 0)
+	s.Run(150) // drive the sampler across the whole life cycle
+
+	rep, err := col.Report(far.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PassedThrough != 0 || rep.Delivered != 0 {
+		t.Fatalf("expected empty track, got %d/%d", rep.Delivered, rep.PassedThrough)
+	}
+	for name, v := range map[string]float64{
+		"DeliveryRate": rep.DeliveryRate,
+		"Mean":         rep.DeliveryTimes.Mean,
+		"StdDev":       rep.DeliveryTimes.StdDev,
+		"Min":          rep.DeliveryTimes.Min,
+		"Max":          rep.DeliveryTimes.Max,
+		"P50":          rep.P50,
+		"P95":          rep.P95,
+		"LoadGini":     col.LoadGini(),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v, want finite", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %v, want 0 with no traffic", name, v)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("no-traffic report does not marshal: %v", err)
 	}
 }

@@ -467,6 +467,122 @@ func (c *Channel) AppendNodesWithin(dst []int, center geo.Point, radius float64,
 	return dst
 }
 
+// RefreshGrid rebuilds the spatial snapshot if it is stale, using exactly
+// the staleness rule queries apply. Call it from a single goroutine (e.g.
+// the simulator's batch-prepare hook) before issuing concurrent QueryScratch
+// queries: the scratch query path never rebuilds, so the snapshot must be
+// brought current while the channel is quiescent. Refreshing here rather
+// than lazily inside a query also pins the snapshot — and therefore the
+// candidate iteration order feeding the channel's shared RNG draws — to the
+// batch boundary, independent of which query happens to run first.
+func (c *Channel) RefreshGrid() {
+	now := c.sim.Now()
+	if !c.gridBuilt || now-c.gridAt >= c.cfg.GridRefresh {
+		c.rebuildGrid()
+	}
+}
+
+// QueryScratch is a per-worker read-only view of the channel for parallel
+// decision phases. The channel's own query path memoizes positions in shared
+// buffers (PositionOf mutates the memo), so concurrent queries need private
+// scratch: each QueryScratch carries its own per-instant position memo and
+// reads the grid snapshot without ever rebuilding it.
+//
+// Concurrency contract: any number of QueryScratch values may query
+// concurrently with each other, provided nothing mutates the channel
+// (no Broadcast, SetOnline, SetNodeRange or grid rebuild) until they are
+// done, and Channel.RefreshGrid was called at the current instant first.
+// A QueryScratch must not itself be shared between goroutines.
+type QueryScratch struct {
+	c        *Channel
+	memoTime float64
+	memoGen  uint64
+	posGen   []uint64
+	posMemo  []geo.Point
+}
+
+// NewQueryScratch returns a scratch query context for this channel.
+func (c *Channel) NewQueryScratch() *QueryScratch {
+	return &QueryScratch{
+		c:       c,
+		memoGen: 1,
+		posGen:  make([]uint64, len(c.models)),
+		posMemo: make([]geo.Point, len(c.models)),
+	}
+}
+
+// PositionOf returns node i's exact position at the current simulation time,
+// memoized per instant in this scratch (the concurrent-safe analogue of
+// Channel.PositionOf).
+func (q *QueryScratch) PositionOf(i int) geo.Point {
+	now := q.c.sim.Now()
+	if now != q.memoTime {
+		q.memoTime = now
+		q.memoGen++
+	}
+	if q.posGen[i] == q.memoGen {
+		return q.posMemo[i]
+	}
+	p := q.c.models[i].Position(now)
+	q.posMemo[i] = p
+	q.posGen[i] = q.memoGen
+	return p
+}
+
+// AppendNeighborsOf appends node i's neighbors to dst, like
+// Channel.AppendNeighborsOf but touching only this scratch's memo.
+func (q *QueryScratch) AppendNeighborsOf(dst []int, i int) []int {
+	return q.AppendNodesWithin(dst, q.PositionOf(i), q.c.RangeOf(i), i)
+}
+
+// AppendNodesWithin is Channel.AppendNodesWithin against the existing grid
+// snapshot: identical candidate order and exact results (the staleness slack
+// covers motion since the snapshot), but it never rebuilds the grid — the
+// caller must have called RefreshGrid at this instant. It panics if no
+// snapshot exists yet.
+func (q *QueryScratch) AppendNodesWithin(dst []int, center geo.Point, radius float64, exclude int) []int {
+	c := q.c
+	if !c.gridBuilt {
+		panic("radio: QueryScratch used before Channel.RefreshGrid")
+	}
+	now := c.sim.Now()
+	slack := c.cfg.MaxSpeed * (now - c.gridAt)
+	reach := radius + slack
+	cs := c.gridCell
+	x0 := int(math.Floor((center.X - reach - c.gridMinX) / cs))
+	x1 := int(math.Floor((center.X + reach - c.gridMinX) / cs))
+	y0 := int(math.Floor((center.Y - reach - c.gridMinY) / cs))
+	y1 := int(math.Floor((center.Y + reach - c.gridMinY) / cs))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= c.gridNX {
+		x1 = c.gridNX - 1
+	}
+	if y1 >= c.gridNY {
+		y1 = c.gridNY - 1
+	}
+	r2 := radius * radius
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			base := cx*c.gridNY + cy
+			for _, j32 := range c.cellNodes[c.cellStart[base]:c.cellStart[base+1]] {
+				j := int(j32)
+				if j == exclude || !c.Online(j) {
+					continue
+				}
+				if q.PositionOf(j).Dist2(center) <= r2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // airtime returns the serialization delay for a frame of the given size.
 func (c *Channel) airtime(bytes int) float64 {
 	if c.cfg.BitrateBps <= 0 {
@@ -485,6 +601,33 @@ func (c *Channel) Broadcast(f Frame) {
 	if !c.Online(f.From) {
 		return // a powered-down radio cannot transmit
 	}
+	// The neighbor query consumes no randomness, so running it before the
+	// jitter draw leaves the channel's RNG stream unchanged.
+	c.nbrScratch = c.AppendNeighborsOf(c.nbrScratch[:0], f.From)
+	c.transmit(f, c.nbrScratch)
+}
+
+// BroadcastTo transmits f to a pre-computed receiver list instead of querying
+// neighbors at transmit time — the commit-phase half of a broadcast whose
+// neighbor query already ran in a parallel decision phase (via
+// QueryScratch.AppendNeighborsOf at this same instant). recv must hold the
+// nodes in range of the sender, in channel query order; the channel applies
+// the same jitter, loss, fade and collision treatment as Broadcast, drawing
+// from the shared stream in the same order.
+func (c *Channel) BroadcastTo(f Frame, recv []int) {
+	if f.From < 0 || f.From >= len(c.models) {
+		panic(fmt.Sprintf("radio: broadcast from unknown node %d", f.From))
+	}
+	if !c.Online(f.From) {
+		return // a powered-down radio cannot transmit
+	}
+	c.transmit(f, recv)
+}
+
+// transmit applies the sender-side accounting and per-receiver impairment
+// draws for one frame and schedules its delivery batch. recv is read, not
+// retained.
+func (c *Channel) transmit(f Frame, recv []int) {
 	c.stats.Broadcasts++
 	c.stats.BytesSent += uint64(f.Bytes)
 	c.stats.AirtimeSec += c.airtime(f.Bytes)
@@ -502,10 +645,9 @@ func (c *Channel) Broadcast(f Frame) {
 	if c.cfg.FadeZone > 0 {
 		senderPos = c.PositionOf(f.From)
 	}
-	c.nbrScratch = c.AppendNeighborsOf(c.nbrScratch[:0], f.From)
 	b := c.getBatch()
 	b.f = f
-	for _, j := range c.nbrScratch {
+	for _, j := range recv {
 		// The receiver's radio front-end pays for every frame that reaches
 		// it, even ones subsequently lost, faded or collided.
 		c.chargeRx(j, f.Bytes)

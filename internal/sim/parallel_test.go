@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestRunStopFreezesClock is the regression test for the Stop clock bug:
+// Run used to set now = until even when Stop() ended the run early,
+// contradicting the documented "clock finishes at min(until, last event
+// time)" contract.
+func TestRunStopFreezesClock(t *testing.T) {
+	s := New()
+	lateFired := false
+	s.Schedule(3, func() { s.Stop() })
+	s.Schedule(7, func() { lateFired = true })
+	s.Run(100)
+	if got := s.Now(); got != 3 {
+		t.Fatalf("clock after Stop = %v, want 3 (the stopped event's time)", got)
+	}
+	if lateFired {
+		t.Fatal("event past the Stop point dispatched in the stopped run")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending after Stop = %d, want 1", s.Pending())
+	}
+	// A later Run resumes from the frozen clock and completes normally,
+	// including the drain-to-until behavior.
+	s.Run(100)
+	if !lateFired {
+		t.Fatal("resumed run skipped the remaining event")
+	}
+	if got := s.Now(); got != 100 {
+		t.Fatalf("clock after resumed run = %v, want 100", got)
+	}
+}
+
+// TestRunStopFreezesClockInfinite checks the RunAll flavor: a stop during
+// RunAll must leave the clock at the stopping event, not at +Inf (that was
+// already true — the +Inf guard — but pin it alongside the finite case).
+func TestRunStopFreezesClockInfinite(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() { s.Stop() })
+	s.RunAll()
+	if got := s.Now(); got != 5 {
+		t.Fatalf("clock after Stop in RunAll = %v, want 5", got)
+	}
+}
+
+// TestScheduleSplitPhases checks the batch contract on a single instant:
+// the prepare hook runs once before any decide, every decide runs before
+// any commit, and commits run in scheduling order.
+func TestScheduleSplitPhases(t *testing.T) {
+	s := New()
+	s.SetWorkers(4)
+	var log []string
+	s.SetBatchPrepare(func() { log = append(log, "prep") })
+	decided := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.ScheduleSplit(1, i, func(worker int) {
+			if worker < 0 || worker >= 4 {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			decided[i] = true
+		}, func() {
+			if !decided[0] || !decided[1] || !decided[2] {
+				t.Error("commit ran before all decides completed")
+			}
+			log = append(log, string(rune('a'+i)))
+		})
+	}
+	s.RunAll()
+	want := []string{"prep", "a", "b", "c"}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log %v, want %v", log, want)
+		}
+	}
+	if s.Dispatched() != 3 {
+		t.Fatalf("dispatched = %d, want 3", s.Dispatched())
+	}
+}
+
+// TestScheduleSplitShardAffinity verifies that events sharing a shard are
+// decided in seq order — the guarantee that lets same-shard decides share
+// mutable state (e.g. one peer's RNG stream).
+func TestScheduleSplitShardAffinity(t *testing.T) {
+	const shards, perShard = 8, 20
+	s := New()
+	s.SetWorkers(3)
+	order := make([][]int, shards)
+	for rep := 0; rep < perShard; rep++ {
+		for sh := 0; sh < shards; sh++ {
+			sh, rep := sh, rep
+			s.ScheduleSplit(2, sh, func(int) {
+				order[sh] = append(order[sh], rep) // same worker per shard: no race
+			}, func() {})
+		}
+	}
+	s.RunAll()
+	for sh := range order {
+		if len(order[sh]) != perShard {
+			t.Fatalf("shard %d decided %d times, want %d", sh, len(order[sh]), perShard)
+		}
+		for rep, got := range order[sh] {
+			if got != rep {
+				t.Fatalf("shard %d decide order %v, want ascending", sh, order[sh])
+			}
+		}
+	}
+}
+
+// splitMix schedules a deterministic pseudo-random mix of plain and split
+// events on s, each appending its tag to a commit log. Split events verify
+// their own decide ran first. Returns the log pointer.
+func splitMix(s *Simulator, seed int64, t *testing.T) *[]int {
+	rnd := rand.New(rand.NewSource(seed))
+	log := new([]int)
+	tag := 0
+	for round := 0; round < 40; round++ {
+		at := float64(rnd.Intn(20)) // coarse instants force multi-event batches
+		n := 1 + rnd.Intn(6)
+		for i := 0; i < n; i++ {
+			tag++
+			id := tag
+			if rnd.Intn(3) == 0 {
+				s.Schedule(at, func() { *log = append(*log, id) })
+				continue
+			}
+			decided := false
+			s.ScheduleSplit(at, rnd.Intn(5), func(int) { decided = true }, func() {
+				if !decided {
+					t.Errorf("split event %d committed before its decide", id)
+				}
+				*log = append(*log, id)
+			})
+		}
+	}
+	return log
+}
+
+// TestBatchMatchesSequential is the sim-level equivalence property: the
+// same schedule of plain and split events produces identical Now(),
+// Dispatched() and commit order whether batches run with one worker or
+// GOMAXPROCS workers, and identically to a simulator that never
+// parallelizes (workers left at the default).
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		ref := New() // default workers: sequential batch path
+		refLog := splitMix(ref, seed, t)
+		ref.Run(1000)
+
+		par := New()
+		par.SetWorkers(runtime.GOMAXPROCS(0) + 2) // oversubscribe on purpose
+		parLog := splitMix(par, seed, t)
+		par.Run(1000)
+
+		if ref.Now() != par.Now() {
+			t.Fatalf("seed %d: Now %v (seq) != %v (par)", seed, ref.Now(), par.Now())
+		}
+		if ref.Dispatched() != par.Dispatched() {
+			t.Fatalf("seed %d: Dispatched %d (seq) != %d (par)", seed, ref.Dispatched(), par.Dispatched())
+		}
+		if len(*refLog) != len(*parLog) {
+			t.Fatalf("seed %d: commit log lengths %d vs %d", seed, len(*refLog), len(*parLog))
+		}
+		for i := range *refLog {
+			if (*refLog)[i] != (*parLog)[i] {
+				t.Fatalf("seed %d: commit order diverges at %d: %d vs %d",
+					seed, i, (*refLog)[i], (*parLog)[i])
+			}
+		}
+	}
+}
+
+// TestSplitRescheduleCancel exercises timer surgery on split events: a
+// rescheduled split event keeps both phases; a cancelled one fires neither.
+func TestSplitRescheduleCancel(t *testing.T) {
+	s := New()
+	s.SetWorkers(2)
+	var decides, commits int
+	e := s.ScheduleSplit(1, 0, func(int) { decides++ }, func() { commits++ })
+	s.Reschedule(e, 5)
+	dead := s.ScheduleSplit(5, 1, func(int) { t.Error("cancelled decide ran") },
+		func() { t.Error("cancelled commit ran") })
+	s.Cancel(dead)
+	s.RunAll()
+	if decides != 1 || commits != 1 {
+		t.Fatalf("decides=%d commits=%d, want 1/1", decides, commits)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("now = %v, want 5", s.Now())
+	}
+}
+
+// TestSplitBatchBoundary pins down that a plain event with a seq number
+// between two same-instant split events splits the batch without reordering
+// commits — global dispatch order is always (time, seq).
+func TestSplitBatchBoundary(t *testing.T) {
+	s := New()
+	s.SetWorkers(4)
+	var log []int
+	s.ScheduleSplit(1, 0, func(int) {}, func() { log = append(log, 1) })
+	s.Schedule(1, func() { log = append(log, 2) })
+	s.ScheduleSplit(1, 0, func(int) {}, func() { log = append(log, 3) })
+	s.RunAll()
+	if len(log) != 3 || log[0] != 1 || log[1] != 2 || log[2] != 3 {
+		t.Fatalf("dispatch order %v, want [1 2 3]", log)
+	}
+}
+
+// TestRunDrainStillAdvancesClock guards the other half of the Run contract
+// after the Stop fix: with no Stop, a drained queue still advances the
+// clock to until (and never to +Inf).
+func TestRunDrainStillAdvancesClock(t *testing.T) {
+	s := New()
+	s.Schedule(2, func() {})
+	s.Run(10)
+	if s.Now() != 10 {
+		t.Fatalf("now = %v, want 10", s.Now())
+	}
+	s.Schedule(11, func() {})
+	s.RunAll()
+	if math.IsInf(s.Now(), 1) {
+		t.Fatal("RunAll left the clock at +Inf")
+	}
+	if s.Now() != 11 {
+		t.Fatalf("now = %v, want 11", s.Now())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Event is a scheduled callback. The zero value is meaningless; events are
@@ -21,6 +22,8 @@ type Event struct {
 	seq    uint64
 	index  int // heap index, -1 when not queued
 	fn     func()
+	decide func(worker int) // decision half of a split event; nil for plain events
+	shard  int32            // worker-affinity key of a split event
 	canned bool
 	pooled bool // recycled into the free list after dispatch
 }
@@ -71,6 +74,13 @@ type Simulator struct {
 	dispatched uint64
 	stopped    bool
 	free       []*Event // recycled pooled events (see SchedulePooled)
+
+	// Same-instant batch dispatch for split events (see ScheduleSplit).
+	workers int             // decision-phase parallelism; 0/1 means sequential
+	prepare func()          // sequential hook before each batch's decision phase
+	batch   []*Event        // the split events of the batch being dispatched
+	pool    []chan struct{} // worker wake channels; nil when no pool is live
+	poolWG  sync.WaitGroup
 }
 
 // New returns an empty simulator with the clock at 0.
@@ -136,6 +146,70 @@ func (s *Simulator) SchedulePooled(at float64, fn func()) {
 	heap.Push(&s.queue, e)
 }
 
+// ScheduleSplit enqueues a two-phase event at absolute time at. All split
+// events that share an instant are dispatched as one batch: first every
+// event's decide callback runs (possibly on parallel workers — see
+// SetWorkers), then every commit callback runs sequentially in scheduling
+// (seq) order. The contract that makes workers=N bit-identical to workers=1:
+//
+//   - decide must only read state shared with other batch members, and may
+//     write only state owned by its shard (its own RNG stream, its own
+//     pending-action buffers);
+//   - all mutation of shared state — and every draw from a shared RNG
+//     stream — belongs in commit;
+//   - events with equal shard values are decided in seq order by a single
+//     worker, so same-shard decides may share mutable per-shard state.
+//
+// decide receives the index of the worker running it (0 ≤ worker <
+// Workers()), usable to index per-worker scratch. Time validation, FIFO
+// tie-breaking, Cancel and Reschedule behave exactly as for Schedule; a
+// rescheduled split event keeps its decide/shard. shard must be ≥ 0.
+func (s *Simulator) ScheduleSplit(at float64, shard int, decide func(worker int), commit func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at invalid time %v", at))
+	}
+	if shard < 0 {
+		panic(fmt.Sprintf("sim: split event with negative shard %d", shard))
+	}
+	if decide == nil || commit == nil {
+		panic("sim: split event with nil phase")
+	}
+	e := &Event{time: at, seq: s.seq, fn: commit, decide: decide, shard: int32(shard), index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// SetWorkers sets the decision-phase parallelism for split-event batches.
+// Values below 1 are clamped to 1 (sequential). Any value produces
+// bit-identical results; workers only changes which goroutine evaluates each
+// decide. Call it between Run invocations or from an event callback — the
+// worker pool is (re)built at the next batch and torn down when Run returns.
+func (s *Simulator) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers returns the configured decision-phase parallelism (≥ 1).
+func (s *Simulator) Workers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// SetBatchPrepare installs a hook that runs sequentially at the start of
+// every split-event batch, before any decide. Use it to bring shared
+// read-mostly structures up to date (e.g. rebuild a spatial index) while the
+// simulator is quiescent, so the parallel decision phase sees one consistent
+// snapshot. A nil fn removes the hook.
+func (s *Simulator) SetBatchPrepare(fn func()) { s.prepare = fn }
+
 // Cancel removes a pending event from the queue. Cancelling an event that has
 // already fired, or cancelling twice, is a no-op.
 func (s *Simulator) Cancel(e *Event) {
@@ -166,19 +240,28 @@ func (s *Simulator) Reschedule(e *Event, at float64) {
 }
 
 // Stop makes the current Run invocation return after the event being
-// dispatched completes.
+// dispatched completes. When called from inside a split-event batch, the
+// batch's remaining commits still run (they share one virtual instant) and
+// Run returns at the batch boundary.
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Run dispatches events in time order until the queue empties or the next
 // event lies strictly beyond until. The clock finishes at min(until, last
 // event time); it is set to until when the queue drains early so that
-// repeated Run calls advance monotonically.
+// repeated Run calls advance monotonically. When Stop ends the run early the
+// clock stays frozen at the stopped event's time — it does NOT jump to
+// until.
 func (s *Simulator) Run(until float64) {
 	s.stopped = false
+	defer s.closePool()
 	for len(s.queue) > 0 && !s.stopped {
 		next := s.queue[0]
 		if next.time > until {
 			break
+		}
+		if next.decide != nil {
+			s.runBatch()
+			continue
 		}
 		heap.Pop(&s.queue)
 		s.now = next.time
@@ -190,9 +273,85 @@ func (s *Simulator) Run(until float64) {
 		}
 		fn()
 	}
-	if s.now < until && !math.IsInf(until, 1) {
+	if !s.stopped && s.now < until && !math.IsInf(until, 1) {
 		s.now = until
 	}
+}
+
+// runBatch dispatches the maximal run of split events at the head of the
+// queue sharing one instant: prepare hook, parallel (or sequential) decision
+// phase, then commits in seq order. Plain events interleaved at the same
+// instant bound the batch on both sides, preserving global seq order.
+func (s *Simulator) runBatch() {
+	t := s.queue[0].time
+	s.now = t
+	s.batch = s.batch[:0]
+	for len(s.queue) > 0 && s.queue[0].decide != nil && s.queue[0].time == t {
+		s.batch = append(s.batch, heap.Pop(&s.queue).(*Event))
+	}
+	if s.prepare != nil {
+		s.prepare()
+	}
+	if s.workers > 1 && len(s.batch) > 1 {
+		s.ensurePool()
+		s.poolWG.Add(len(s.pool))
+		for _, ch := range s.pool {
+			ch <- struct{}{}
+		}
+		s.poolWG.Wait()
+	} else {
+		for _, e := range s.batch {
+			if !e.canned {
+				e.decide(0)
+			}
+		}
+	}
+	for _, e := range s.batch {
+		if e.canned {
+			continue
+		}
+		s.dispatched++
+		e.fn()
+	}
+}
+
+// ensurePool brings the persistent decide-phase worker pool to the
+// configured size. Workers block on their wake channel between batches; the
+// channel send publishes the batch slice and the wait-group closes the
+// happens-before edge back to the commit phase, so batch state needs no
+// other synchronization.
+func (s *Simulator) ensurePool() {
+	if len(s.pool) == s.workers {
+		return
+	}
+	s.closePool()
+	s.pool = make([]chan struct{}, s.workers)
+	nw := s.workers
+	for w := range s.pool {
+		ch := make(chan struct{})
+		s.pool[w] = ch
+		go func(w int) {
+			for range ch {
+				for _, e := range s.batch {
+					// Shard-affine assignment: equal shards always land on
+					// the same worker, in batch (= seq) order.
+					if int(e.shard)%nw == w && !e.canned {
+						e.decide(w)
+					}
+				}
+				s.poolWG.Done()
+			}
+		}(w)
+	}
+}
+
+// closePool tears the worker pool down; the goroutines exit when their wake
+// channels close.
+func (s *Simulator) closePool() {
+	for _, ch := range s.pool {
+		close(ch)
+	}
+	s.pool = nil
 }
 
 // RunAll dispatches every queued event (including those scheduled while

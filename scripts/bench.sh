@@ -1,6 +1,7 @@
 #!/bin/sh
 # bench.sh — run the hot-path microbenchmarks plus the end-to-end Fig. 7
-# N=1000 sweep and write the results to BENCH_hotpath.json at the repo root.
+# N=1000 sweep and write the results to BENCH_hotpath.json at the repo root,
+# then the sequential-vs-parallel executor comparison to BENCH_parallel.json.
 #
 # Usage:
 #   scripts/bench.sh            # default: -benchtime 2s micro, 3x end-to-end
@@ -10,13 +11,18 @@
 #   {"name": ..., "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}
 # (end-to-end entries omit the allocation columns — the harness does not
 # report them for sub-benchmarks that emit custom metrics only.)
+# BENCH_parallel.json adds "ncpu" and per-row "speedup_vs_workers_1" so the
+# numbers are interpretable on any host: on a single-core runner the sweep
+# measures batching overhead, not speedup (see docs/PERFORMANCE.md).
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="BENCH_hotpath.json"
+PAROUT="BENCH_parallel.json"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+PARTMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PARTMP"' EXIT
 
 echo "==> micro: internal/radio + internal/sim (-benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkBroadcastDense$|BenchmarkBroadcastDenseCollisions$|BenchmarkNodesWithin' \
@@ -49,3 +55,27 @@ END { print "\n]" }
 ' "$TMP" > "$OUT"
 
 echo "==> wrote $OUT" >&2
+
+echo "==> parallel executor: BenchmarkFig7Workers N=1000 (-benchtime 5x)" >&2
+go test -run '^$' -bench 'BenchmarkFig7Workers' -benchtime 5x . | tee "$PARTMP" >&2
+
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+awk -v ncpu="$NCPU" '
+BEGIN { print "{" ; print "  \"ncpu\": " ncpu "," ; print "  \"runs\": [" ; n = 0 }
+/^BenchmarkFig7Workers/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns = $i
+    if (ns == "") next
+    if (name ~ /workers=1$/) base = ns
+    if (n++) print ","
+    line = "    {\"name\": \"" name "\", \"ns_per_op\": " ns
+    if (base != "" && ns + 0 > 0)
+        line = line sprintf(", \"speedup_vs_workers_1\": %.3f", base / ns)
+    printf "%s}", line
+}
+END { print "\n  ]" ; print "}" }
+' "$PARTMP" > "$PAROUT"
+
+echo "==> wrote $PAROUT" >&2
