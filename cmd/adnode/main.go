@@ -15,7 +15,10 @@
 // Observability: every -stats interval the daemon prints a one-line JSON
 // snapshot of its counters, per-peer send health and neighbor table, and it
 // prints a final snapshot on SIGINT/SIGTERM. With -http the same snapshot
-// is published at /debug/vars via expvar.
+// is published at /debug/vars via expvar and the node's instrument registry
+// is served in the Prometheus text format at /metrics. With -events the
+// node's lifecycle trace (peer/neighbor/backoff transitions) streams to a
+// JSONL file.
 //
 // Demo mode — a five-node chain on loopback in one process, showing a real
 // multi-hop delivery end to end:
@@ -65,7 +68,8 @@ func main() {
 		adD       = flag.Float64("D", 180, "issued ad duration, s")
 		adCat     = flag.String("category", "petrol", "issued ad category")
 		statsInt  = flag.Duration("stats", 10*time.Second, "interval between JSON stats snapshots (0 = quiet)")
-		httpAddr  = flag.String("http", "", "serve expvar snapshots over HTTP at this address (e.g. 127.0.0.1:8500)")
+		httpAddr  = flag.String("http", "", "serve expvar at /debug/vars and Prometheus text at /metrics on this address (e.g. 127.0.0.1:8500)")
+		eventsOut = flag.String("events", "", "write the node lifecycle event trace (JSONL) to this file")
 		verbose   = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
@@ -102,6 +106,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
 		}
 	}
+	var events *node.EventRecorder
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		fatalIf(err)
+		defer f.Close()
+		events = node.NewEventRecorder(f)
+		cfg.Events = events
+		defer func() {
+			if err := events.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "adnode: events: %v\n", err)
+			}
+		}()
+	}
 	n, err := node.New(cfg)
 	fatalIf(err)
 	defer n.Close()
@@ -114,13 +131,15 @@ func main() {
 	}
 
 	expvar.Publish("adnode", expvar.Func(func() any { return snapshotOf(n, uint32(*id)) }))
+	http.Handle("/metrics", n.Registry().Handler())
 	if *httpAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "adnode: http: %v\n", err)
 			}
 		}()
-		fmt.Printf("expvar stats at http://%s/debug/vars\n", *httpAddr)
+		fmt.Printf("expvar stats at http://%s/debug/vars, Prometheus text at http://%s/metrics\n",
+			*httpAddr, *httpAddr)
 	}
 
 	if *issue != "" {

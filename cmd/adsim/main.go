@@ -32,7 +32,8 @@ func main() {
 		fieldW     = flag.Float64("field", 1500, "square field side, meters")
 		speed      = flag.Float64("speed", 10, "mean motion speed, m/s")
 		speedDelta = flag.Float64("speed-delta", 5, "speed spread (uniform mean±delta)")
-		mobility   = flag.String("mobility", string(instantad.RandomWaypoint), "mobility model: random-waypoint | random-walk | manhattan | rpgm")
+		mobility   = flag.String("mobility", instantad.RandomWaypoint.String(), "mobility model: random-waypoint | random-walk | manhattan | rpgm")
+		evict      = flag.String("evict", instantad.EvictLowestProb.String(), "cache eviction policy: lowest-prob | oldest-first | random")
 		txRange    = flag.Float64("range", 125, "transmission range, meters")
 		radius     = flag.Float64("R", 500, "initial advertising radius, meters")
 		duration   = flag.Float64("D", 180, "initial advertising duration, seconds")
@@ -52,6 +53,7 @@ func main() {
 		energy     = flag.Bool("energy", false, "measure radio energy (joules)")
 		compare    = flag.Bool("compare", false, "run every protocol on identical trajectories and tabulate")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics-registry snapshot as JSON to this file at exit")
 	)
 	flag.Parse()
 
@@ -85,7 +87,22 @@ func main() {
 	override("field", func() { sc.FieldW, sc.FieldH = *fieldW, *fieldW })
 	override("speed", func() { sc.SpeedMean = *speed })
 	override("speed-delta", func() { sc.SpeedDelta = *speedDelta })
-	override("mobility", func() { sc.Mobility = instantad.MobilityKind(*mobility) })
+	override("mobility", func() {
+		kind, err := instantad.ParseMobility(*mobility)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.Mobility = kind
+	})
+	override("evict", func() {
+		pol, err := instantad.ParseEviction(*evict)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.Eviction = pol
+	})
 	override("range", func() { sc.TxRange = *txRange })
 	override("R", func() { sc.R = *radius })
 	override("D", func() { sc.D = *duration })
@@ -118,11 +135,11 @@ func main() {
 	sc.MeasureEnergy = sc.MeasureEnergy || *energy
 
 	if *showMap {
-		runWithMap(sc)
+		runWithMap(sc, *metricsOut)
 		return
 	}
 	if *compare {
-		runComparison(sc, *jsonOut)
+		runComparison(sc, *jsonOut, *metricsOut)
 		return
 	}
 
@@ -132,6 +149,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dumpSnapshot(*metricsOut, res.Snapshot)
 		emitJSON(toJSON(res))
 		return
 	}
@@ -142,6 +160,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dumpSnapshot(*metricsOut, res.Snapshot)
 		fmt.Printf("protocol:       %v\n", proto)
 		fmt.Printf("peers:          %d in %.0fx%.0f m (density %.1f /km²)\n",
 			sc.NumPeers, sc.FieldW, sc.FieldH, float64(sc.NumPeers)/(sc.FieldW*sc.FieldH/1e6))
@@ -159,6 +178,9 @@ func main() {
 		return
 	}
 
+	if *metricsOut != "" {
+		fmt.Fprintln(os.Stderr, "adsim: -metrics-out only covers single runs; ignored with -reps")
+	}
 	agg, err := instantad.RunReplicated(sc, *reps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -212,10 +234,38 @@ func emitJSON(v any) {
 	}
 }
 
+// dumpSnapshot writes a run's metrics-registry snapshot as indented JSON.
+// An empty path means the flag was not given.
+func dumpSnapshot(path string, snap *instantad.Snapshot) {
+	if path == "" {
+		return
+	}
+	if snap == nil {
+		fmt.Fprintln(os.Stderr, "adsim: no registry snapshot available for -metrics-out")
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
 // runComparison runs every protocol (including the related-work comparator)
-// on identical trajectories and tabulates the paper's metrics.
-func runComparison(sc instantad.Scenario, asJSON bool) {
+// on identical trajectories and tabulates the paper's metrics. With
+// metricsOut, the last protocol's registry snapshot is written.
+func runComparison(sc instantad.Scenario, asJSON bool, metricsOut string) {
 	var rows []resultJSON
+	var lastSnap *instantad.Snapshot
 	for _, proto := range instantad.AllProtocols() {
 		run := sc
 		run.Protocol = proto
@@ -225,7 +275,9 @@ func runComparison(sc instantad.Scenario, asJSON bool) {
 			os.Exit(1)
 		}
 		rows = append(rows, toJSON(res))
+		lastSnap = res.Snapshot
 	}
+	dumpSnapshot(metricsOut, lastSnap)
 	if asJSON {
 		emitJSON(rows)
 		return
@@ -240,7 +292,7 @@ func runComparison(sc instantad.Scenario, asJSON bool) {
 
 // runWithMap executes one run, printing field snapshots at issue, quarter-,
 // half- and three-quarter-life.
-func runWithMap(sc instantad.Scenario) {
+func runWithMap(sc instantad.Scenario, metricsOut string) {
 	sim, err := sc.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -263,4 +315,6 @@ func runWithMap(sc instantad.Scenario) {
 		os.Exit(1)
 	}
 	fmt.Println(rep)
+	snap := sim.Registry.Snapshot()
+	dumpSnapshot(metricsOut, &snap)
 }

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	adtrace -o run.jsonl [-protocol ... -peers ...]   # record
-//	adtrace -summarize run.jsonl                      # inspect
+//	adtrace -out run.jsonl [-protocol ... -peers ...]   # record
+//	adtrace -summarize run.jsonl                        # inspect
 package main
 
 import (
@@ -14,12 +14,11 @@ import (
 	"sort"
 
 	"instantad"
-	"instantad/internal/trace"
 )
 
 func main() {
 	var (
-		out       = flag.String("o", "", "trace output file ('-' for stdout)")
+		out       = flag.String("out", "", "trace output file ('-' for stdout)")
 		summarize = flag.String("summarize", "", "summarize an existing trace file instead of recording")
 		analyze   = flag.String("analyze", "", "per-ad dissemination analysis of an existing trace file")
 		protocol  = flag.String("protocol", "Optimized Gossiping", "protocol to run")
@@ -38,7 +37,7 @@ func main() {
 		return
 	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "need -o <file> to record or -summarize <file> to inspect")
+		fmt.Fprintln(os.Stderr, "need -out <file> to record or -summarize <file> to inspect")
 		os.Exit(2)
 	}
 
@@ -76,9 +75,9 @@ func analyzeFile(path string) {
 	f, err := os.Open(path)
 	fatalIf(err)
 	defer f.Close()
-	events, err := trace.Read(f)
+	events, err := instantad.ReadTrace(f)
 	fatalIf(err)
-	a, err := trace.Analyze(events)
+	a, err := instantad.AnalyzeTrace(events)
 	fatalIf(err)
 	fmt.Print(a.Render())
 }
@@ -87,9 +86,9 @@ func summarizeFile(path string) {
 	f, err := os.Open(path)
 	fatalIf(err)
 	defer f.Close()
-	events, err := trace.Read(f)
+	events, err := instantad.ReadTrace(f)
 	fatalIf(err)
-	sum, err := trace.Summarize(events)
+	sum, err := instantad.SummarizeTrace(events)
 	fatalIf(err)
 	fmt.Println(sum)
 	kinds := make([]string, 0, len(sum.ByKind))
@@ -98,7 +97,7 @@ func summarizeFile(path string) {
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		fmt.Printf("  %-10s %d\n", k, sum.ByKind[trace.Kind(k)])
+		fmt.Printf("  %-10s %d\n", k, sum.ByKind[instantad.TraceKind(k)])
 	}
 	for _, ad := range sum.Ads {
 		fmt.Printf("  %s: %d broadcasts\n", ad, sum.MsgsPerAd[ad])

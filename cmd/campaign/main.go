@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
 		percat  = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
+		metOut  = flag.String("metrics-out", "", "write the last rate's metrics-registry snapshot as JSON to this file at exit")
 	)
 	flag.Parse()
 
@@ -83,4 +85,27 @@ func main() {
 				cr.Category, cr.Ads, cr.DeliveryRate, cr.Messages)
 		}
 	}
+
+	if *metOut != "" {
+		if err := writeSnapshot(*metOut, reports[len(reports)-1].Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSnapshot dumps the registry snapshot of the sweep's last rate as
+// indented JSON.
+func writeSnapshot(path string, snap *instantad.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

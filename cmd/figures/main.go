@@ -33,6 +33,7 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress lines")
 		chart      = flag.Bool("chart", false, "render ASCII charts alongside the tables")
 		csvDir     = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		seed       = flag.Uint64("seed", 1, "base random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -75,14 +76,15 @@ func main() {
 		}
 	}
 
-	opts := instantad.RunOpts{Reps: *reps}
+	base := instantad.DefaultScenario()
+	base.Seed = *seed
+	opts := instantad.RunOpts{Reps: *reps, Base: base}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
 	}
 	if *quick {
-		base := instantad.DefaultScenario()
 		base.SimTime = 400
 		opts.Base = base
 		opts.Sizes = []int{100, 300, 600, 1000}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mobgen -n 300 -model random-waypoint -horizon 2000 -o move.ns2
+//	mobgen -n 300 -model random-waypoint -horizon 2000 -out move.ns2
 //	mobgen -info move.ns2
 package main
 
@@ -30,7 +30,7 @@ func main() {
 		block   = flag.Float64("block", 150, "manhattan block size, m")
 		horizon = flag.Float64("horizon", 2000, "trajectory length, s")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "-", "output file ('-' for stdout)")
+		out     = flag.String("out", "-", "output file ('-' for stdout)")
 		info    = flag.String("info", "", "inspect an existing movement script instead")
 	)
 	flag.Parse()

@@ -1,0 +1,96 @@
+// Command promcheck validates Prometheus text exposition: it scrapes a URL
+// (or reads a file / stdin), parses the text strictly — TYPE lines, sample
+// syntax, histogram bucket monotonicity, +Inf/count agreement — and
+// optionally asserts that required metric families are present with the
+// right type. It exits non-zero on any violation, making it the CI gate
+// for the /metrics endpoints.
+//
+// Usage:
+//
+//	promcheck -url http://127.0.0.1:8500/metrics -require node_sent_total:counter
+//	promcheck -in metrics.txt
+//	adnode ... | promcheck -in -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"instantad/internal/obs"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "scrape this URL instead of reading a file")
+		in      = flag.String("in", "-", "exposition file to read ('-' for stdin)")
+		require = flag.String("require", "", "comma-separated name:type assertions (type optional), e.g. node_sent_total:counter,node_peers_live")
+		timeout = flag.Duration("timeout", 10*time.Second, "total scrape budget, retrying until the endpoint answers")
+	)
+	flag.Parse()
+
+	var (
+		r   io.ReadCloser
+		err error
+	)
+	switch {
+	case *url != "":
+		r, err = scrape(*url, *timeout)
+	case *in == "-":
+		r = os.Stdin
+	default:
+		r, err = os.Open(*in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+
+	fams, err := obs.ParsePrometheus(r)
+	if err != nil {
+		fatal(fmt.Errorf("promcheck: %w", err))
+	}
+
+	if *require != "" {
+		for _, req := range strings.Split(*require, ",") {
+			name, typ, _ := strings.Cut(strings.TrimSpace(req), ":")
+			fam, ok := fams[name]
+			if !ok {
+				fatal(fmt.Errorf("promcheck: required family %q missing", name))
+			}
+			if typ != "" && fam.Type != typ {
+				fatal(fmt.Errorf("promcheck: family %q is %s, want %s", name, fam.Type, typ))
+			}
+		}
+	}
+	fmt.Printf("ok: %d families\n", len(fams))
+}
+
+// scrape GETs the exposition, retrying until the timeout so CI can point it
+// at a server that is still binding its listener.
+func scrape(url string, budget time.Duration) (io.ReadCloser, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(url)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return resp.Body, nil
+		}
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("status %s", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("promcheck: scraping %s: %w", url, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

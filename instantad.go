@@ -46,6 +46,8 @@
 package instantad
 
 import (
+	"io"
+
 	"instantad/internal/ads"
 	"instantad/internal/campaign"
 	"instantad/internal/core"
@@ -53,7 +55,9 @@ import (
 	"instantad/internal/fm"
 	"instantad/internal/geo"
 	"instantad/internal/metrics"
+	"instantad/internal/obs"
 	"instantad/internal/rng"
+	"instantad/internal/trace"
 	"instantad/internal/workload"
 )
 
@@ -108,6 +112,62 @@ type (
 	Rand = rng.Stream
 )
 
+// Observability seam. Observers watch protocol events as a simulation runs;
+// compose any number with MultiObserver (or Sim.Observe, which chains them
+// after the built-in metrics collector). Registries hold the quantitative
+// side — counters, gauges and histograms fed by the simulator, the metrics
+// collector and the live node daemon — exposable as Prometheus text or a
+// JSON Snapshot.
+type (
+	// Observer receives protocol events (issue, broadcast, receive, …).
+	Observer = core.Observer
+	// BaseObserver is a no-op Observer to embed so implementations only
+	// spell out the events they care about.
+	BaseObserver = core.BaseObserver
+	// PostponeObserver is the optional extension interface for Optimization
+	// Mechanism 2's postponement events (Formula 4); observers that
+	// implement it alongside Observer receive OnPostpone callbacks.
+	PostponeObserver = core.PostponeObserver
+	// TraceRecorder streams protocol events as JSONL (see Sim.Trace).
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one line of a JSONL protocol trace.
+	TraceEvent = trace.Event
+	// TraceKind enumerates trace event types.
+	TraceKind = trace.Kind
+	// TraceSummary aggregates a trace (event counts, span, per-ad totals).
+	TraceSummary = trace.Summary
+	// TraceAnalysis is the per-ad deep summary of a trace.
+	TraceAnalysis = trace.Analysis
+	// Registry is a set of named metric instruments.
+	Registry = obs.Registry
+	// Snapshot is a Registry's point-in-time JSON-friendly state.
+	Snapshot = obs.Snapshot
+	// HistogramSnapshot is one histogram's state within a Snapshot.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// MultiObserver composes observers into one that fans every event out to
+// each, in order. Nil members are skipped; composing none yields a no-op.
+// With Sim.Observe this replaces juggling the network's single observer
+// slot by hand.
+func MultiObserver(observers ...Observer) Observer { return core.MultiObserver(observers...) }
+
+// Observe is MultiObserver under the name Sim.Observe uses: compose any
+// number of observers into one for a Network-level SetObserver.
+func Observe(observers ...Observer) Observer { return MultiObserver(observers...) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ReadTrace parses a JSONL protocol trace.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return trace.Read(r) }
+
+// SummarizeTrace aggregates a parsed trace.
+func SummarizeTrace(events []TraceEvent) (TraceSummary, error) { return trace.Summarize(events) }
+
+// AnalyzeTrace computes the per-ad deep summary of a parsed trace.
+func AnalyzeTrace(events []TraceEvent) (TraceAnalysis, error) { return trace.Analyze(events) }
+
 // EvictionPolicy selects the cache-overflow victim rule.
 type EvictionPolicy = core.EvictionPolicy
 
@@ -155,6 +215,14 @@ func AllProtocols() []Protocol { return core.AllProtocols() }
 
 // ParseProtocol converts a protocol name back to a Protocol value.
 func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
+
+// ParseMobility converts a mobility-model name (as produced by
+// MobilityKind.String) back to a MobilityKind.
+func ParseMobility(s string) (MobilityKind, error) { return experiment.ParseMobility(s) }
+
+// ParseEviction converts an eviction-policy name (as produced by
+// EvictionPolicy.String) back to an EvictionPolicy.
+func ParseEviction(s string) (EvictionPolicy, error) { return core.ParseEviction(s) }
 
 // RunReplicated executes a scenario across consecutive seeds and aggregates
 // the three paper metrics.

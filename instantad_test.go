@@ -154,3 +154,105 @@ func TestPublicCampaign(t *testing.T) {
 		t.Errorf("sweep reports = %d", len(reps))
 	}
 }
+
+func TestPublicParserRoundTrips(t *testing.T) {
+	for _, k := range []instantad.MobilityKind{
+		instantad.RandomWaypoint, instantad.RandomWalk, instantad.Manhattan, instantad.RPGM,
+	} {
+		got, err := instantad.ParseMobility(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseMobility(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := instantad.ParseMobility("levy-flight"); err == nil {
+		t.Error("ParseMobility accepted an unknown model")
+	}
+	for _, e := range []instantad.EvictionPolicy{
+		instantad.EvictLowestProb, instantad.EvictOldestFirst, instantad.EvictRandomEntry,
+	} {
+		got, err := instantad.ParseEviction(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEviction(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := instantad.ParseEviction("lru"); err == nil {
+		t.Error("ParseEviction accepted an unknown policy")
+	}
+}
+
+// countingObserver tallies broadcasts and postponements through the public
+// observer seam.
+type countingObserver struct {
+	instantad.BaseObserver
+	broadcasts int
+	postpones  int
+}
+
+func (c *countingObserver) OnBroadcast(peer int, id instantad.AdID, bytes int, t float64) {
+	c.broadcasts++
+}
+
+func (c *countingObserver) OnPostpone(peer int, id instantad.AdID, delay float64, t float64) {
+	c.postpones++
+}
+
+func TestPublicObservabilitySeam(t *testing.T) {
+	sc := quickScenario()
+	sc.Protocol = instantad.GossipOpt
+	sim, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rec := sim.Trace(&buf)
+	a, b := &countingObserver{}, &countingObserver{}
+	sim.Observe(instantad.MultiObserver(a, nil), b)
+	h := sim.ScheduleAd(sc.IssueTime, instantad.Point{X: sc.FieldW / 2, Y: sc.FieldH / 2},
+		instantad.AdSpec{R: sc.R, D: sc.D, Category: sc.Category, Text: "seam test"})
+	sim.Engine.Run(sc.SimTime)
+	if h.Err != nil || h.Ad == nil {
+		t.Fatalf("issue failed: %v", h.Err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a.broadcasts == 0 || a.broadcasts != b.broadcasts {
+		t.Errorf("observer fan-out broke: a=%d b=%d", a.broadcasts, b.broadcasts)
+	}
+	if a.postpones == 0 {
+		t.Error("PostponeObserver got no OnPostpone under GossipOpt")
+	}
+
+	snap := sim.Registry.Snapshot()
+	if got := snap.Counters["sim_messages_total"]; got != uint64(a.broadcasts) {
+		t.Errorf("sim_messages_total = %d, observers saw %d", got, a.broadcasts)
+	}
+	if snap.Histograms["sim_postpone_delay_seconds"].Count != uint64(a.postpones) {
+		t.Errorf("postpone histogram count %d, observers saw %d",
+			snap.Histograms["sim_postpone_delay_seconds"].Count, a.postpones)
+	}
+
+	events, err := instantad.ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := instantad.SummarizeTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ByKind["broadcast"] != a.broadcasts {
+		t.Errorf("trace saw %d broadcasts, observers %d", sum.ByKind["broadcast"], a.broadcasts)
+	}
+	if _, err := instantad.AnalyzeTrace(events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRegistry(t *testing.T) {
+	reg := instantad.NewRegistry()
+	reg.Counter("demo_total", "a counter").Add(2)
+	snap := reg.Snapshot()
+	if snap.Counters["demo_total"] != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"instantad/internal/experiment"
 	"instantad/internal/geo"
+	"instantad/internal/obs"
 	"instantad/internal/workload"
 )
 
@@ -73,6 +74,9 @@ type Report struct {
 	TotalBytes    uint64
 	Evictions     uint64
 	ByCategory    []CategoryReport // sorted by category name
+	// Metrics freezes the run's sim_* registry at exit (see
+	// experiment.Sim.Registry); nil only for zero-value Reports.
+	Metrics *obs.Snapshot
 }
 
 // String renders a one-line summary.
@@ -146,6 +150,8 @@ func Run(sc experiment.Scenario, cfg Config) (Report, error) {
 	rep.TotalMessages = sm.Metrics.TotalMessages()
 	rep.TotalBytes = sm.Metrics.TotalBytes()
 	rep.Evictions = sm.Metrics.Evictions()
+	snap := sm.Registry.Snapshot()
+	rep.Metrics = &snap
 	for _, cr := range byCat {
 		cr.DeliveryRate /= float64(cr.Ads)
 		rep.ByCategory = append(rep.ByCategory, *cr)

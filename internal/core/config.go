@@ -146,6 +146,37 @@ const (
 	EvictRandomEntry
 )
 
+// String returns the policy's flag-friendly name, round-tripping with
+// ParseEviction.
+func (e EvictionPolicy) String() string {
+	switch e {
+	case EvictLowestProb:
+		return "lowest-prob"
+	case EvictOldestFirst:
+		return "oldest-first"
+	case EvictRandomEntry:
+		return "random"
+	}
+	return fmt.Sprintf("EvictionPolicy(%d)", int(e))
+}
+
+// EvictionPolicies lists every cache-overflow rule, the paper's default
+// first.
+func EvictionPolicies() []EvictionPolicy {
+	return []EvictionPolicy{EvictLowestProb, EvictOldestFirst, EvictRandomEntry}
+}
+
+// ParseEviction converts a policy name (as produced by String) back to an
+// EvictionPolicy.
+func ParseEviction(s string) (EvictionPolicy, error) {
+	for _, e := range EvictionPolicies() {
+		if e.String() == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown eviction policy %q (want lowest-prob | oldest-first | random)", s)
+}
+
 // Config parameterizes a Network.
 type Config struct {
 	// Protocol selects the dissemination scheme.

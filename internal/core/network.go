@@ -76,6 +76,25 @@ func (m multiObserver) OnEvict(peer int, id ads.ID, t float64) {
 	}
 }
 
+// PostponeObserver is an optional Observer extension: implementations also
+// hear every Optimization Mechanism 2 postponement (Formula 4) with the
+// delay applied, so postponement-delay distributions can be measured.
+// Observers composed via MultiObserver receive OnPostpone when they
+// implement this interface; others are skipped.
+type PostponeObserver interface {
+	// OnPostpone fires when overhearing pushes a peer's next gossip of an
+	// ad back by delay seconds.
+	OnPostpone(peer int, id ads.ID, delay float64, t float64)
+}
+
+func (m multiObserver) OnPostpone(peer int, id ads.ID, delay float64, t float64) {
+	for _, o := range m {
+		if po, ok := o.(PostponeObserver); ok {
+			po.OnPostpone(peer, id, delay, t)
+		}
+	}
+}
+
 // BaseObserver is a no-op Observer for embedding.
 type BaseObserver struct{}
 
@@ -113,7 +132,10 @@ type Network struct {
 	ch    *radio.Channel
 	peers []*Peer
 	obs   Observer
-	rnd   *rng.Stream
+	// postObs is obs's PostponeObserver side, resolved once at SetObserver
+	// so the postpone hot path pays no per-call type assertion.
+	postObs PostponeObserver
+	rnd     *rng.Stream
 
 	// slotW is the round-phase slot width RoundTime/RoundSlots. Round and
 	// entry-timer instants are always recomputed as slot·slotW from integer
@@ -198,9 +220,11 @@ func (n *Network) slotAfter(t float64) int64 {
 func (n *Network) SetObserver(obs Observer) {
 	if obs == nil {
 		n.obs = BaseObserver{}
+		n.postObs = nil
 		return
 	}
 	n.obs = obs
+	n.postObs, _ = obs.(PostponeObserver)
 }
 
 // Sim returns the simulator driving this network.
@@ -720,6 +744,9 @@ func (p *Peer) postpone(e *ads.Entry, from int) {
 	slots := int64(math.Ceil(PostponeInterval(n.cfg.RoundTime, overlap, theta) / n.slotW))
 	if slots < 1 {
 		slots = 1
+	}
+	if n.postObs != nil {
+		n.postObs.OnPostpone(p.id, e.Ad.ID, float64(slots)*n.slotW, n.sim.Now())
 	}
 	e.Slot += slots
 	e.ScheduledAt = float64(e.Slot) * n.slotW

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"instantad/internal/core"
+	"instantad/internal/obs"
+)
+
+// TestRegistryPopulatedByRun asserts the tentpole wiring end to end: one
+// scenario run must feed counters, gauges and histograms from both the
+// executor (sim_batches_total, phase timings) and the observer chain
+// (sim_messages_total, delivery-time and postponement histograms), and the
+// resulting exposition must parse as valid Prometheus text.
+func TestRegistryPopulatedByRun(t *testing.T) {
+	sc := DefaultScenario()
+	sc.NumPeers = 40
+	sc.FieldW, sc.FieldH = 500, 500
+	sc.SimTime = 200
+	sc.Protocol = core.GossipOpt // Opt2 half exercises the postpone path
+	sc.Workers = 2
+
+	sm, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sm.ScheduleAd(sc.IssueTime, sc.issueAt(), core.AdSpec{
+		R: sc.R, D: sc.D, Category: sc.Category, Text: "obs test",
+	})
+	sm.Engine.Run(sc.SimTime)
+	if h.Err != nil || h.Ad == nil {
+		t.Fatalf("ad issue failed: %v", h.Err)
+	}
+
+	snap := sm.Registry.Snapshot()
+	for _, name := range []string{
+		"sim_messages_total", "sim_bytes_total",
+		"sim_batches_total", "sim_events_dispatched_total",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+	if got := snap.Gauges["sim_workers"]; got != 2 {
+		t.Errorf("sim_workers = %v, want 2", got)
+	}
+	for _, name := range []string{
+		"sim_batch_size", "sim_phase_prepare_seconds",
+		"sim_phase_decide_seconds", "sim_phase_commit_seconds",
+		"sim_delivery_time_seconds", "sim_postpone_delay_seconds",
+	} {
+		if snap.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s has no observations", name)
+		}
+	}
+
+	var sb strings.Builder
+	if err := sm.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if fams["sim_messages_total"].Type != "counter" {
+		t.Errorf("sim_messages_total family = %+v", fams["sim_messages_total"])
+	}
+	if fams["sim_delivery_time_seconds"].Type != "histogram" {
+		t.Errorf("sim_delivery_time_seconds family = %+v", fams["sim_delivery_time_seconds"])
+	}
+}

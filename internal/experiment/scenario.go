@@ -17,6 +17,7 @@ import (
 	"instantad/internal/geo"
 	"instantad/internal/metrics"
 	"instantad/internal/mobility"
+	"instantad/internal/obs"
 	"instantad/internal/radio"
 	"instantad/internal/rng"
 	"instantad/internal/sim"
@@ -38,6 +39,26 @@ const (
 	// whose reference points do Random Waypoint (GroupSize 4, radius 50 m).
 	RPGM MobilityKind = "rpgm"
 )
+
+// String returns the model's flag-friendly name, round-tripping with
+// ParseMobility.
+func (k MobilityKind) String() string { return string(k) }
+
+// MobilityKinds lists every movement model, the paper's default first.
+func MobilityKinds() []MobilityKind {
+	return []MobilityKind{RandomWaypoint, RandomWalk, Manhattan, RPGM}
+}
+
+// ParseMobility converts a model name (as produced by String) back to a
+// MobilityKind.
+func ParseMobility(s string) (MobilityKind, error) {
+	for _, k := range MobilityKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("experiment: unknown mobility %q (want random-waypoint | random-walk | manhattan | rpgm)", s)
+}
 
 // Scenario fully describes one simulation run. The zero value is not
 // runnable; start from DefaultScenario.
@@ -376,6 +397,9 @@ type Result struct {
 	LoadGini     float64 // inequality of per-peer transmission counts, [0,1)
 	Duplicates   uint64
 	Evictions    uint64
+	// Snapshot freezes the run's sim_* registry at exit — executor batch and
+	// phase metrics plus the collector's counters and histograms.
+	Snapshot *obs.Snapshot
 }
 
 // Sim is a fully assembled simulation: engine, network and metrics, built
@@ -387,8 +411,24 @@ type Sim struct {
 	Engine   *sim.Simulator
 	Net      *core.Network
 	Metrics  *metrics.Collector
+	// Registry holds the run's sim_* instruments: the executor's batch and
+	// phase metrics plus the collector's traffic counters and delivery-time/
+	// postponement histograms. Snapshot or expose it after Engine.Run.
+	Registry *obs.Registry
 
 	rnd *rng.Stream
+	// extraObs are observers attached via Observe, re-composed with the
+	// metrics collector on every call.
+	extraObs []core.Observer
+}
+
+// Observe chains additional observers after the metrics collector — the
+// variadic composer that replaces juggling Network.SetObserver by hand.
+// Call before the simulation runs; each call appends (nils are skipped).
+func (sm *Sim) Observe(obs ...core.Observer) {
+	sm.extraObs = append(sm.extraObs, obs...)
+	all := append([]core.Observer{sm.Metrics}, sm.extraObs...)
+	sm.Net.SetObserver(core.MultiObserver(all...))
 }
 
 // Build assembles the simulation for this scenario: mobility models, radio
@@ -421,12 +461,15 @@ func (sc Scenario) Build() (*Sim, error) {
 		}
 	}
 	col := metrics.NewCollector(s, net.Channel(), net.Config().Params, sc.SampleEvery)
+	reg := obs.NewRegistry()
+	s.SetRegistry(reg)
+	col.InstrumentWith(reg)
 	net.SetObserver(col)
 	net.Start()
 	if sc.ChurnOnMean > 0 {
 		armChurn(s, net, sc, rnd.Split("churn"))
 	}
-	return &Sim{Scenario: sc, Engine: s, Net: net, Metrics: col, rnd: rnd}, nil
+	return &Sim{Scenario: sc, Engine: s, Net: net, Metrics: col, Registry: reg, rnd: rnd}, nil
 }
 
 // armChurn gives every peer an alternating exponential on/off radio cycle.
@@ -459,7 +502,7 @@ func (sm *Sim) Rand(label string) *rng.Stream { return sm.rnd.Split(label) }
 // recorder after Engine.Run.
 func (sm *Sim) Trace(w io.Writer) *trace.Recorder {
 	rec := trace.NewRecorder(w, sm.Net.Channel())
-	sm.Net.SetObserver(core.MultiObserver(sm.Metrics, rec))
+	sm.Observe(rec)
 	return rec
 }
 
@@ -510,9 +553,11 @@ func (sc Scenario) Run() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	snap := sm.Registry.Snapshot()
 	return Result{
 		Scenario:     sc,
 		Report:       rep,
+		Snapshot:     &snap,
 		DeliveryRate: rep.DeliveryRate,
 		DeliveryTime: rep.DeliveryTimes.Mean,
 		Messages:     float64(rep.Messages),

@@ -22,6 +22,7 @@ import (
 	"instantad/internal/ads"
 	"instantad/internal/core"
 	"instantad/internal/geo"
+	"instantad/internal/obs"
 	"instantad/internal/radio"
 	"instantad/internal/sim"
 	"instantad/internal/stats"
@@ -48,6 +49,15 @@ type Collector struct {
 	evictions     uint64
 	expirations   uint64
 	perPeerTx     []float64
+
+	// Registry instruments, nil until InstrumentWith (see there).
+	obsMessages    *obs.Counter
+	obsBytes       *obs.Counter
+	obsDuplicates  *obs.Counter
+	obsEvictions   *obs.Counter
+	obsExpirations *obs.Counter
+	obsDelivery    *obs.Histogram
+	obsPostpone    *obs.Histogram
 }
 
 // adTrack is the per-advertisement ledger.
@@ -90,6 +100,33 @@ func NewCollector(s *sim.Simulator, ch *radio.Channel, params core.ProbParams, s
 	return c
 }
 
+// InstrumentWith registers the collector's sim-fed instruments in reg and
+// starts feeding them from the observer chain: traffic and cache-churn
+// counters, a tracked-ads gauge, and the paper's two distributional metrics
+// as histograms — delivery time (seconds from area entry to first receipt,
+// Section IV) and postponement delay (Formula 4, Optimization Mechanism 2).
+// Delivery-time buckets are observed in virtual seconds.
+func (c *Collector) InstrumentWith(reg *obs.Registry) {
+	c.obsMessages = reg.Counter("sim_messages_total",
+		"advertisement frames broadcast network-wide")
+	c.obsBytes = reg.Counter("sim_bytes_total",
+		"advertisement bytes broadcast network-wide")
+	c.obsDuplicates = reg.Counter("sim_duplicates_total",
+		"duplicate ad receptions")
+	c.obsEvictions = reg.Counter("sim_evictions_total",
+		"cache evictions")
+	c.obsExpirations = reg.Counter("sim_expirations_total",
+		"ads dropped on expiry")
+	c.obsDelivery = reg.Histogram("sim_delivery_time_seconds",
+		"virtual seconds from advertising-area entry to first receipt",
+		obs.ExpBuckets(0.125, 2, 14))
+	c.obsPostpone = reg.Histogram("sim_postpone_delay_seconds",
+		"virtual seconds each overhearing postponed a gossip (Formula 4)",
+		obs.ExpBuckets(0.125, 2, 12))
+	reg.GaugeFunc("sim_tracked_ads", "advertisements under measurement",
+		func() float64 { return float64(len(c.tracked)) })
+}
+
 // OnIssue starts tracking an ad: peers already inside the area count as
 // entered at issue time.
 func (c *Collector) OnIssue(issuer int, ad *ads.Advertisement, t float64) {
@@ -119,6 +156,10 @@ func (c *Collector) OnIssue(issuer int, ad *ads.Advertisement, t float64) {
 func (c *Collector) OnBroadcast(peer int, id ads.ID, bytes int, t float64) {
 	c.totalMessages++
 	c.totalBytes += uint64(bytes)
+	if c.obsMessages != nil {
+		c.obsMessages.Inc()
+		c.obsBytes.Add(uint64(bytes))
+	}
 	if peer >= 0 && peer < len(c.perPeerTx) {
 		c.perPeerTx[peer]++
 	}
@@ -136,16 +177,44 @@ func (c *Collector) OnFirstReceive(peer int, ad *ads.Advertisement, t float64) {
 	}
 	tr.received[peer] = true
 	tr.receiveTime[peer] = t
+	// Peers already inside the area have a measurable delivery time now;
+	// peers that receive before entering contribute a 0 on entry (sample).
+	if c.obsDelivery != nil && tr.entered[peer] {
+		c.obsDelivery.Observe(math.Max(0, t-tr.enterTime[peer]))
+	}
+}
+
+// OnPostpone feeds the postponement-delay histogram (Formula 4). The
+// Collector is a core.PostponeObserver only so far as it is instrumented.
+func (c *Collector) OnPostpone(peer int, id ads.ID, delay float64, t float64) {
+	if c.obsPostpone != nil {
+		c.obsPostpone.Observe(delay)
+	}
 }
 
 // OnDuplicate counts duplicate receptions.
-func (c *Collector) OnDuplicate(int, ads.ID, float64) { c.duplicates++ }
+func (c *Collector) OnDuplicate(int, ads.ID, float64) {
+	c.duplicates++
+	if c.obsDuplicates != nil {
+		c.obsDuplicates.Inc()
+	}
+}
 
 // OnEvict counts cache evictions.
-func (c *Collector) OnEvict(int, ads.ID, float64) { c.evictions++ }
+func (c *Collector) OnEvict(int, ads.ID, float64) {
+	c.evictions++
+	if c.obsEvictions != nil {
+		c.obsEvictions.Inc()
+	}
+}
 
 // OnExpire counts expiry drops.
-func (c *Collector) OnExpire(int, ads.ID, float64) { c.expirations++ }
+func (c *Collector) OnExpire(int, ads.ID, float64) {
+	c.expirations++
+	if c.obsExpirations != nil {
+		c.obsExpirations.Inc()
+	}
+}
 
 // sample advances the area-crossing detector one step.
 func (c *Collector) sample() {
@@ -169,6 +238,11 @@ func (c *Collector) sample() {
 			if f, hit := geo.SegmentCircleHit(c.prevPos[i], pos, circle); hit {
 				tr.entered[i] = true
 				tr.enterTime[i] = c.prevT + f*(now-c.prevT)
+				// Entering with the ad already in hand is the paper's
+				// zero-delivery-time case.
+				if c.obsDelivery != nil && tr.received[i] {
+					c.obsDelivery.Observe(0)
+				}
 			}
 		}
 	}

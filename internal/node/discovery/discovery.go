@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"instantad/internal/geo"
+	"instantad/internal/obs"
 )
 
 const (
@@ -186,6 +187,13 @@ type Table struct {
 	mu  sync.Mutex
 	ttl time.Duration
 	m   map[uint32]*Neighbor
+
+	// Instruments, nil until InstrumentWith is called.
+	obsNew          *obs.Counter
+	obsRefreshed    *obs.Counter
+	obsAddrChanged  *obs.Counter
+	obsExpired      *obs.Counter
+	obsInterarrival *obs.Histogram
 }
 
 // NewTable builds an empty table with the given expiry TTL.
@@ -198,6 +206,29 @@ func NewTable(ttl time.Duration) *Table {
 
 // TTL returns the table's expiry window.
 func (t *Table) TTL() time.Duration { return t.ttl }
+
+// InstrumentWith registers the table's discovery_* instruments in reg and
+// starts feeding them: event counters, a live-neighbor gauge, and a
+// beacon-interarrival histogram (how regularly neighbors are actually heard
+// versus their nominal interval — the early-warning signal before the TTL
+// failure detector fires).
+func (t *Table) InstrumentWith(reg *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.obsNew = reg.Counter("discovery_neighbors_new_total",
+		"neighbors first heard from")
+	t.obsRefreshed = reg.Counter("discovery_beacons_refreshed_total",
+		"beacons that refreshed a known neighbor")
+	t.obsAddrChanged = reg.Counter("discovery_addr_changes_total",
+		"neighbors that announced a new address")
+	t.obsExpired = reg.Counter("discovery_neighbors_expired_total",
+		"neighbors aged out by the TTL sweep")
+	t.obsInterarrival = reg.Histogram("discovery_beacon_interarrival_seconds",
+		"time between beacons from the same neighbor",
+		obs.ExpBuckets(0.01, 2, 14))
+	reg.GaugeFunc("discovery_neighbors", "current neighbor-table size",
+		func() float64 { return float64(t.Len()) })
+}
 
 // Observe integrates one received beacon at the given receipt time. It
 // returns what the beacon taught the table, plus the neighbor's previous
@@ -212,11 +243,25 @@ func (t *Table) Observe(b Beacon, now time.Time) (ev Event, prevAddr string) {
 			Range: b.Range, Epoch: b.Epoch,
 			FirstHeard: now, LastHeard: now, Beacons: 1,
 		}
+		if t.obsNew != nil {
+			t.obsNew.Inc()
+		}
 		return New, ""
 	}
 	ev = Refreshed
 	if nb.Addr != b.Addr {
 		ev, prevAddr = AddrChanged, nb.Addr
+	}
+	if t.obsInterarrival != nil {
+		if gap := now.Sub(nb.LastHeard).Seconds(); gap >= 0 {
+			t.obsInterarrival.Observe(gap)
+		}
+	}
+	switch {
+	case ev == AddrChanged && t.obsAddrChanged != nil:
+		t.obsAddrChanged.Inc()
+	case ev == Refreshed && t.obsRefreshed != nil:
+		t.obsRefreshed.Inc()
 	}
 	nb.Addr, nb.Pos, nb.Vel = b.Addr, b.Pos, b.Vel
 	nb.Range, nb.Epoch = b.Range, b.Epoch
@@ -236,6 +281,9 @@ func (t *Table) Sweep(now time.Time) []Neighbor {
 		if now.Sub(nb.LastHeard) > t.ttl {
 			expired = append(expired, *nb)
 			delete(t.m, id)
+			if t.obsExpired != nil {
+				t.obsExpired.Inc()
+			}
 		}
 	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i].ID < expired[j].ID })

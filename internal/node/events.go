@@ -1,0 +1,122 @@
+package node
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// NodeEvent is one entry of the node's lifecycle trace: membership changes
+// (peer add/remove), discovery outcomes (neighbor new/refreshed/
+// addr-changed/expired) and send-health transitions (backoff enter/exit).
+// Unlike the counters, the trace preserves ordering and identity — which
+// peer flapped, when, and why — which is what a postmortem needs.
+type NodeEvent struct {
+	// T is the wall-clock event time as Unix seconds.
+	T float64 `json:"t"`
+	// Kind is the event type: "peer_add", "peer_remove", "neighbor_new",
+	// "neighbor_refreshed", "neighbor_addr_changed", "neighbor_expired",
+	// "backoff_enter", "backoff_exit".
+	Kind string `json:"kind"`
+	// Peer is the datagram address concerned, when there is one.
+	Peer string `json:"peer,omitempty"`
+	// ID is the neighbor's node identity for discovery events.
+	ID uint32 `json:"id,omitempty"`
+	// Detail carries event-specific context (previous address, backoff
+	// duration).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventRecorder streams NodeEvents as JSON Lines, one object per line —
+// the node-layer sibling of internal/trace. It is safe for concurrent use
+// by the node's read, gossip and beacon loops. Errors are sticky: the
+// first failure is kept and surfaced by Flush, Err and Close; later
+// records are dropped.
+type EventRecorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+	n   int
+}
+
+// NewEventRecorder wraps w in a buffered JSONL event sink.
+func NewEventRecorder(w io.Writer) *EventRecorder {
+	return &EventRecorder{bw: bufio.NewWriter(w)}
+}
+
+// Record appends one event. If the event's time is zero it is stamped with
+// the current wall clock.
+func (r *EventRecorder) Record(ev NodeEvent) {
+	if ev.T == 0 {
+		ev.T = float64(time.Now().UnixNano()) / 1e9
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		r.err = fmt.Errorf("node: marshal event: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := r.bw.Write(data); err != nil {
+		r.err = fmt.Errorf("node: write event: %w", err)
+		return
+	}
+	r.n++
+}
+
+// Len returns the number of events recorded so far.
+func (r *EventRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Flush drains the buffer to the underlying writer and returns the
+// recorder's sticky error — a flush failure is stored, so a later Err sees
+// it too.
+func (r *EventRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = fmt.Errorf("node: flush events: %w", err)
+	}
+	return r.err
+}
+
+// Err returns the first error the recorder hit, if any.
+func (r *EventRecorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// ReadEvents parses a JSONL event stream produced by EventRecorder.
+func ReadEvents(rd io.Reader) ([]NodeEvent, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []NodeEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev NodeEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("node: events line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"instantad/internal/ads"
@@ -13,6 +12,7 @@ import (
 	"instantad/internal/fm"
 	"instantad/internal/geo"
 	"instantad/internal/node/discovery"
+	"instantad/internal/obs"
 	"instantad/internal/rng"
 )
 
@@ -92,6 +92,15 @@ type Config struct {
 	// on each subsequent trip up to PeerBackoffMax. Zero means the
 	// defaults (500ms and 30s).
 	PeerBackoffBase, PeerBackoffMax time.Duration
+
+	// Registry receives the node's instruments (node_* and, with discovery
+	// enabled, discovery_*). Nil means the node creates a private registry,
+	// reachable via Node.Registry. Registries are per-node: sharing one
+	// between nodes would merge their counters.
+	Registry *obs.Registry
+	// Events, when non-nil, receives the node's lifecycle trace (peer
+	// membership, discovery outcomes, backoff transitions) as JSONL.
+	Events *EventRecorder
 	// Logf, when non-nil, receives debug lines.
 	Logf func(format string, args ...any)
 }
@@ -152,6 +161,7 @@ type peerState struct {
 	consecFails  int    // failures since the last success
 	backoffUntil time.Time
 	nextBackoff  time.Duration
+	inBackoff    bool // tripped and not yet succeeded again (event edge)
 }
 
 // PeerHealth is a point-in-time snapshot of one peer's send health.
@@ -196,6 +206,12 @@ type Node struct {
 	nextSeq   uint32
 	epoch     time.Time // protocol time zero: ages are seconds since epoch
 
+	reg         *obs.Registry
+	events      *EventRecorder
+	sendLatency *obs.Histogram
+	recvLatency *obs.Histogram
+	backoffDur  *obs.Histogram
+
 	ctr       counters
 	done      chan struct{}
 	closeOnce sync.Once
@@ -204,25 +220,49 @@ type Node struct {
 	started   bool
 }
 
-// counters hold the node's activity counts as atomics so the hot paths never
-// take the state lock just to count.
+// counters hold the node's activity counts as registry-backed instruments —
+// the same lock-free atomics as before the obs refactor, but now they also
+// expose through /metrics and snapshots. Stats reads them back, so the
+// Stats surface is exactly the registry's view.
 type counters struct {
-	sent             atomic.Uint64
-	broadcasts       atomic.Uint64
-	received         atomic.Uint64
-	outOfRange       atomic.Uint64
-	malformed        atomic.Uint64
-	duplicates       atomic.Uint64
-	expired          atomic.Uint64
-	readErrors       atomic.Uint64
-	sendErrors       atomic.Uint64
-	seenPruned       atomic.Uint64
-	peerBackoffs     atomic.Uint64
-	beaconsSent      atomic.Uint64
-	beaconsRecv      atomic.Uint64
-	beaconRelays     atomic.Uint64
-	neighborsExpired atomic.Uint64
-	epochSkew        atomic.Uint64
+	sent             *obs.Counter
+	broadcasts       *obs.Counter
+	received         *obs.Counter
+	outOfRange       *obs.Counter
+	malformed        *obs.Counter
+	duplicates       *obs.Counter
+	expired          *obs.Counter
+	readErrors       *obs.Counter
+	sendErrors       *obs.Counter
+	seenPruned       *obs.Counter
+	peerBackoffs     *obs.Counter
+	beaconsSent      *obs.Counter
+	beaconsRecv      *obs.Counter
+	beaconRelays     *obs.Counter
+	neighborsExpired *obs.Counter
+	epochSkew        *obs.Counter
+}
+
+// newCounters registers every node_* counter in reg.
+func newCounters(reg *obs.Registry) counters {
+	return counters{
+		sent:             reg.Counter("node_sent_total", "ad datagrams transmitted (per peer destination)"),
+		broadcasts:       reg.Counter("node_broadcasts_total", "gossip decisions that fired (one per ad broadcast)"),
+		received:         reg.Counter("node_received_total", "envelopes accepted"),
+		outOfRange:       reg.Counter("node_out_of_range_total", "frames dropped by the virtual radio"),
+		malformed:        reg.Counter("node_malformed_total", "undecodable datagrams"),
+		duplicates:       reg.Counter("node_duplicates_total", "envelopes for ads already cached"),
+		expired:          reg.Counter("node_expired_total", "envelopes dropped because the ad had expired"),
+		readErrors:       reg.Counter("node_read_errors_total", "transient socket read failures survived via backoff"),
+		sendErrors:       reg.Counter("node_send_errors_total", "failed datagram transmissions"),
+		seenPruned:       reg.Counter("node_seen_pruned_total", "expired IDs swept from the dedup set"),
+		peerBackoffs:     reg.Counter("node_peer_backoffs_total", "times a peer entered timed backoff"),
+		beaconsSent:      reg.Counter("node_beacons_sent_total", "HELLO datagrams transmitted"),
+		beaconsRecv:      reg.Counter("node_beacons_recv_total", "HELLO datagrams accepted"),
+		beaconRelays:     reg.Counter("node_beacon_relays_total", "first-hand introductions passed along"),
+		neighborsExpired: reg.Counter("node_neighbors_expired_total", "neighbors aged out by the TTL sweep"),
+		epochSkew:        reg.Counter("node_epoch_skew_total", "beacons whose epoch hint disagreed with ours"),
+	}
 }
 
 // Stats is a snapshot of a live node's activity.
@@ -276,11 +316,18 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	n := &Node{
 		cfg:            cfg,
 		params:         core.ProbParams{Alpha: cfg.Alpha, Beta: cfg.Beta},
 		transport:      tr,
 		conn:           conn,
+		reg:            reg,
+		events:         cfg.Events,
+		ctr:            newCounters(reg),
 		failLimit:      cfg.PeerFailLimit,
 		backoffBase:    cfg.PeerBackoffBase,
 		backoffMax:     cfg.PeerBackoffMax,
@@ -336,7 +383,53 @@ func New(cfg Config) (*Node, error) {
 		}
 		n.addPeerLocked(key)
 	}
+	n.sendLatency = reg.Histogram("node_send_latency_seconds",
+		"time one datagram transmission spent in the socket write",
+		obs.ExpBuckets(1e-6, 4, 12))
+	n.recvLatency = reg.Histogram("node_receive_latency_seconds",
+		"time from datagram arrival to full protocol integration",
+		obs.ExpBuckets(1e-6, 4, 12))
+	n.backoffDur = reg.Histogram("node_peer_backoff_seconds",
+		"duration of each peer backoff window entered",
+		obs.ExpBuckets(0.05, 2, 12))
+	reg.GaugeFunc("node_seen_live", "current dedup-set size",
+		func() float64 { return float64(n.SeenSize()) })
+	reg.GaugeFunc("node_peers_live", "peers currently not in backoff",
+		func() float64 { return float64(n.peersLive()) })
+	reg.GaugeFunc("node_neighbors_live", "current neighbor-table size",
+		func() float64 { return float64(n.NeighborCount()) })
+	if n.table != nil {
+		n.table.InstrumentWith(reg)
+	}
 	return n, nil
+}
+
+// Registry returns the node's instrument registry — the Config.Registry it
+// was given, or the private one it built.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// peersLive counts peers currently outside a backoff window (the
+// node_peers_live gauge and Stats.PeersLive).
+func (n *Node) peersLive() int {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := 0
+	for _, p := range n.peers {
+		if !p.backoffUntil.After(now) {
+			live++
+		}
+	}
+	return live
+}
+
+// event emits one lifecycle event when an EventRecorder is configured. Safe
+// to call with n.mu held: the recorder's lock nests strictly inside.
+func (n *Node) event(kind, peer string, id uint32, detail string) {
+	if n.events == nil {
+		return
+	}
+	n.events.Record(NodeEvent{Kind: kind, Peer: peer, ID: id, Detail: detail})
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -367,6 +460,7 @@ func (n *Node) addPeerLocked(key string) *peerState {
 	p := &peerState{key: key}
 	n.peers = append(n.peers, p)
 	n.peerIndex[key] = p
+	n.event("peer_add", key, 0, "")
 	return p
 }
 
@@ -391,6 +485,7 @@ func (n *Node) RemovePeer(addr string) bool {
 		}
 	}
 	n.peers = kept
+	n.event("peer_remove", key, 0, "")
 	return true
 }
 
@@ -605,22 +700,22 @@ func (n *Node) Cached() []*ads.Advertisement {
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	s := Stats{
-		Sent:             n.ctr.sent.Load(),
-		Broadcasts:       n.ctr.broadcasts.Load(),
-		Received:         n.ctr.received.Load(),
-		OutOfRange:       n.ctr.outOfRange.Load(),
-		Malformed:        n.ctr.malformed.Load(),
-		Duplicates:       n.ctr.duplicates.Load(),
-		Expired:          n.ctr.expired.Load(),
-		ReadErrors:       n.ctr.readErrors.Load(),
-		SendErrors:       n.ctr.sendErrors.Load(),
-		SeenPruned:       n.ctr.seenPruned.Load(),
-		PeerBackoffs:     n.ctr.peerBackoffs.Load(),
-		BeaconsSent:      n.ctr.beaconsSent.Load(),
-		BeaconsRecv:      n.ctr.beaconsRecv.Load(),
-		BeaconRelays:     n.ctr.beaconRelays.Load(),
-		NeighborsExpired: n.ctr.neighborsExpired.Load(),
-		EpochSkew:        n.ctr.epochSkew.Load(),
+		Sent:             n.ctr.sent.Value(),
+		Broadcasts:       n.ctr.broadcasts.Value(),
+		Received:         n.ctr.received.Value(),
+		OutOfRange:       n.ctr.outOfRange.Value(),
+		Malformed:        n.ctr.malformed.Value(),
+		Duplicates:       n.ctr.duplicates.Value(),
+		Expired:          n.ctr.expired.Value(),
+		ReadErrors:       n.ctr.readErrors.Value(),
+		SendErrors:       n.ctr.sendErrors.Value(),
+		SeenPruned:       n.ctr.seenPruned.Value(),
+		PeerBackoffs:     n.ctr.peerBackoffs.Value(),
+		BeaconsSent:      n.ctr.beaconsSent.Value(),
+		BeaconsRecv:      n.ctr.beaconsRecv.Value(),
+		BeaconRelays:     n.ctr.beaconRelays.Value(),
+		NeighborsExpired: n.ctr.neighborsExpired.Value(),
+		EpochSkew:        n.ctr.epochSkew.Value(),
 	}
 	if n.table != nil {
 		s.NeighborsLive = uint64(n.table.Len())
@@ -700,7 +795,9 @@ func (n *Node) readLoop() {
 			n.ctr.malformed.Add(1)
 			continue
 		}
+		start := time.Now()
 		n.handle(env)
+		n.recvLatency.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -785,6 +882,7 @@ func (n *Node) handleBeacon(data []byte, from string) {
 	ev, prevAddr := n.table.Observe(b, time.Now())
 	switch ev {
 	case discovery.New:
+		n.event("neighbor_new", key, b.ID, "")
 		n.mu.Lock()
 		n.addPeerLocked(key)
 		n.mu.Unlock()
@@ -796,6 +894,7 @@ func (n *Node) handleBeacon(data []byte, from string) {
 		}
 		n.beaconBack(key)
 	case discovery.AddrChanged:
+		n.event("neighbor_addr_changed", key, b.ID, prevAddr)
 		n.mu.Lock()
 		if n.peerIndex[prevAddr] != nil {
 			delete(n.peerIndex, prevAddr)
@@ -810,6 +909,8 @@ func (n *Node) handleBeacon(data []byte, from string) {
 		n.addPeerLocked(key)
 		n.mu.Unlock()
 		n.logf("neighbor %d moved %s → %s", b.ID, prevAddr, key)
+	case discovery.Refreshed:
+		n.event("neighbor_refreshed", key, b.ID, "")
 	}
 }
 
@@ -982,6 +1083,7 @@ func (n *Node) fireDue() {
 	if n.table != nil {
 		for _, nb := range n.table.Sweep(time.Now()) {
 			n.ctr.neighborsExpired.Add(1)
+			n.event("neighbor_expired", nb.Addr, nb.ID, "")
 			n.RemovePeer(nb.Addr)
 			n.logf("neighbor %d (%s) silent past the %v TTL: removed", nb.ID, nb.Addr, n.neighborTTL)
 		}
@@ -1042,7 +1144,10 @@ func (n *Node) broadcast(ad *ads.Advertisement) {
 // what a success counts as (ad sent, beacon sent, relay) is the caller's
 // business.
 func (n *Node) sendTo(data []byte, p *peerState) bool {
-	if _, err := n.conn.WriteTo(data, p.key); err != nil {
+	start := time.Now()
+	_, err := n.conn.WriteTo(data, p.key)
+	n.sendLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
 		n.ctr.sendErrors.Add(1)
 		n.peerSendFailed(p, err)
 		return false
@@ -1070,7 +1175,10 @@ func (n *Node) peerSendFailed(p *peerState, err error) {
 			p.nextBackoff = n.backoffMax
 		}
 		p.consecFails = 0
+		p.inBackoff = true
 		n.ctr.peerBackoffs.Add(1)
+		n.backoffDur.Observe(wait.Seconds())
+		n.event("backoff_enter", p.key, 0, wait.String())
 	}
 	n.mu.Unlock()
 	if tripped {
@@ -1080,12 +1188,17 @@ func (n *Node) peerSendFailed(p *peerState, err error) {
 	}
 }
 
-// peerSendOK resets the peer's failure streak and backoff window.
+// peerSendOK resets the peer's failure streak and backoff window. The first
+// success after a backoff window is the recovery edge, worth an event.
 func (n *Node) peerSendOK(p *peerState) {
 	n.mu.Lock()
 	p.sent++
 	p.consecFails = 0
 	p.nextBackoff = 0
+	if p.inBackoff {
+		p.inBackoff = false
+		n.event("backoff_exit", p.key, 0, "")
+	}
 	n.mu.Unlock()
 }
 

@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
+
+	"instantad/internal/obs"
 )
 
 // Event is a scheduled callback. The zero value is meaningless; events are
@@ -81,11 +84,68 @@ type Simulator struct {
 	batch   []*Event        // the split events of the batch being dispatched
 	pool    []chan struct{} // worker wake channels; nil when no pool is live
 	poolWG  sync.WaitGroup
+
+	// Observability (see SetRegistry). ins is nil when uninstrumented; all
+	// measurements are wall-clock side channels that never influence event
+	// order, so instrumented and bare runs stay bit-identical.
+	ins        *simInstruments
+	workerBusy []time.Duration // per-worker decide time of the current batch
+}
+
+// simInstruments are the executor's registry instruments.
+type simInstruments struct {
+	events      *obs.Counter
+	batches     *obs.Counter
+	batchSize   *obs.Histogram
+	prepareTime *obs.Histogram
+	decideTime  *obs.Histogram
+	commitTime  *obs.Histogram
+	workersG    *obs.Gauge
+	utilization *obs.Gauge
+	pending     *obs.Gauge
 }
 
 // New returns an empty simulator with the clock at 0.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// SetRegistry instruments the executor with sim_* metrics: dispatched-event
+// and batch counters, batch-size and per-phase wall-clock histograms, and
+// worker-count/utilization gauges. Pass nil to detach. Instruments observe
+// real elapsed time, never virtual time, and have no effect on dispatch
+// order — results stay bit-identical with or without them.
+func (s *Simulator) SetRegistry(reg *obs.Registry) {
+	if reg == nil {
+		s.ins = nil
+		s.workerBusy = nil
+		return
+	}
+	s.ins = &simInstruments{
+		events: reg.Counter("sim_events_dispatched_total",
+			"events executed by the simulator"),
+		batches: reg.Counter("sim_batches_total",
+			"split-event batches dispatched"),
+		batchSize: reg.Histogram("sim_batch_size",
+			"split events per same-instant batch",
+			obs.ExpBuckets(1, 2, 14)),
+		prepareTime: reg.Histogram("sim_phase_prepare_seconds",
+			"wall-clock time of the sequential batch-prepare hook",
+			obs.ExpBuckets(1e-7, 4, 12)),
+		decideTime: reg.Histogram("sim_phase_decide_seconds",
+			"wall-clock time of the (possibly parallel) decision phase",
+			obs.ExpBuckets(1e-7, 4, 12)),
+		commitTime: reg.Histogram("sim_phase_commit_seconds",
+			"wall-clock time of the sequential commit phase",
+			obs.ExpBuckets(1e-7, 4, 12)),
+		workersG: reg.Gauge("sim_workers",
+			"configured decision-phase parallelism"),
+		utilization: reg.Gauge("sim_worker_utilization",
+			"busy fraction of the worker pool over the last parallel decide phase"),
+		pending: reg.Gauge("sim_pending_events",
+			"events queued at the last batch boundary"),
+	}
+	s.ins.workersG.Set(float64(s.Workers()))
 }
 
 // Now returns the current virtual time in seconds.
@@ -193,6 +253,9 @@ func (s *Simulator) SetWorkers(n int) {
 		n = 1
 	}
 	s.workers = n
+	if s.ins != nil {
+		s.ins.workersG.Set(float64(n))
+	}
 }
 
 // Workers returns the configured decision-phase parallelism (≥ 1).
@@ -266,6 +329,9 @@ func (s *Simulator) Run(until float64) {
 		heap.Pop(&s.queue)
 		s.now = next.time
 		s.dispatched++
+		if s.ins != nil {
+			s.ins.events.Inc()
+		}
 		fn := next.fn
 		if next.pooled {
 			next.fn = nil // release the closure before it runs; recycle after
@@ -289,10 +355,24 @@ func (s *Simulator) runBatch() {
 	for len(s.queue) > 0 && s.queue[0].decide != nil && s.queue[0].time == t {
 		s.batch = append(s.batch, heap.Pop(&s.queue).(*Event))
 	}
+	ins := s.ins
+	var mark time.Time
+	if ins != nil {
+		ins.batches.Inc()
+		ins.batchSize.Observe(float64(len(s.batch)))
+		ins.pending.Set(float64(len(s.queue)))
+		mark = time.Now()
+	}
 	if s.prepare != nil {
 		s.prepare()
 	}
-	if s.workers > 1 && len(s.batch) > 1 {
+	if ins != nil {
+		now := time.Now()
+		ins.prepareTime.Observe(now.Sub(mark).Seconds())
+		mark = now
+	}
+	parallel := s.workers > 1 && len(s.batch) > 1
+	if parallel {
 		s.ensurePool()
 		s.poolWG.Add(len(s.pool))
 		for _, ch := range s.pool {
@@ -306,12 +386,35 @@ func (s *Simulator) runBatch() {
 			}
 		}
 	}
+	if ins != nil {
+		now := time.Now()
+		wall := now.Sub(mark)
+		ins.decideTime.Observe(wall.Seconds())
+		if parallel && wall > 0 {
+			// Utilization: total busy worker time over the pool's capacity
+			// for this phase. 1.0 means no worker ever idled.
+			var busy time.Duration
+			for _, d := range s.workerBusy {
+				busy += d
+			}
+			ins.utilization.Set(float64(busy) / (float64(len(s.pool)) * float64(wall)))
+		} else {
+			ins.utilization.Set(1)
+		}
+		mark = now
+	}
+	committed := 0
 	for _, e := range s.batch {
 		if e.canned {
 			continue
 		}
 		s.dispatched++
+		committed++
 		e.fn()
+	}
+	if ins != nil {
+		ins.commitTime.Observe(time.Since(mark).Seconds())
+		ins.events.Add(uint64(committed))
 	}
 }
 
@@ -326,18 +429,30 @@ func (s *Simulator) ensurePool() {
 	}
 	s.closePool()
 	s.pool = make([]chan struct{}, s.workers)
+	s.workerBusy = make([]time.Duration, s.workers)
 	nw := s.workers
 	for w := range s.pool {
 		ch := make(chan struct{})
 		s.pool[w] = ch
 		go func(w int) {
 			for range ch {
+				// Busy-time tracking (worker w writes only index w; the
+				// WaitGroup publishes it back to the dispatcher). Timed only
+				// when instrumented to keep the bare path clock-free.
+				timed := s.ins != nil
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
 				for _, e := range s.batch {
 					// Shard-affine assignment: equal shards always land on
 					// the same worker, in batch (= seq) order.
 					if int(e.shard)%nw == w && !e.canned {
 						e.decide(w)
 					}
+				}
+				if timed {
+					s.workerBusy[w] = time.Since(start)
 				}
 				s.poolWG.Done()
 			}

@@ -58,16 +58,21 @@ func NewRecorder(w io.Writer, ch *radio.Channel) *Recorder {
 	return &Recorder{bw: bufio.NewWriter(w), ch: ch}
 }
 
-// Err returns the first write error encountered, if any.
+// Err returns the first write error encountered, if any. Flush errors are
+// sticky too, so after any Flush the recorder's full error state is here.
 func (r *Recorder) Err() error { return r.err }
 
 // Count returns the number of events written.
 func (r *Recorder) Count() int { return r.n }
 
-// Flush flushes buffered events and reports any deferred write error.
+// Flush flushes buffered events and reports the first write error
+// encountered. A failed flush is recorded like any other write error: the
+// recorder drops subsequent events and every later Flush or Err call keeps
+// reporting it, so callers that only check Err after flushing cannot lose
+// the failure.
 func (r *Recorder) Flush() error {
-	if err := r.bw.Flush(); err != nil {
-		return err
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = err
 	}
 	return r.err
 }

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
+	"instantad/internal/ads"
 	"instantad/internal/core"
 	"instantad/internal/geo"
 	"instantad/internal/mobility"
@@ -241,5 +243,44 @@ func TestAnalyzeAgreesWithSummarize(t *testing.T) {
 	if broadcasts != s.ByKind[KindBroadcast] || bytes != s.Bytes {
 		t.Errorf("analysis (%d, %d) disagrees with summary (%d, %d)",
 			broadcasts, bytes, s.ByKind[KindBroadcast], s.Bytes)
+	}
+}
+
+// shortWriter accepts budget bytes, then fails every write — the disk-full
+// shape where data sits in the bufio buffer until Flush discovers it.
+type shortWriter struct{ budget int }
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errors.New("sink full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestRecorderFlushErrorIsSticky(t *testing.T) {
+	rec := NewRecorder(&shortWriter{budget: 8}, nil)
+	rec.OnBroadcast(0, ads.ID{}, 64, 1)
+	// The event fits in the bufio buffer, so no error has surfaced yet.
+	if rec.Err() != nil {
+		t.Fatalf("premature error: %v", rec.Err())
+	}
+	if err := rec.Flush(); err == nil {
+		t.Fatal("Flush reported success on a failing sink")
+	}
+	// The regression this guards: the flush error must stick, not be
+	// returned once and forgotten.
+	if rec.Err() == nil {
+		t.Fatal("Err lost the flush error")
+	}
+	n := rec.Count()
+	rec.OnBroadcast(0, ads.ID{}, 64, 2)
+	if rec.Count() != n {
+		t.Errorf("recorder kept accepting events after the error")
+	}
+	if err := rec.Flush(); err == nil {
+		t.Error("second Flush forgot the error")
 	}
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# metrics_smoke.sh — boot a live adnode with discovery on, scrape its
+# /metrics endpoint, and fail when the Prometheus exposition does not parse
+# or lacks the core node/discovery families. promcheck retries the scrape
+# until the listener is up, so no sleep choreography is needed.
+#
+# Usage: scripts/metrics_smoke.sh [port]   (default 8521)
+set -eu
+
+cd "$(dirname "$0")/.."
+PORT="${1:-8521}"
+BIN="$(mktemp -d)"
+trap 'kill "$NODE" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/adnode" ./cmd/adnode
+go build -o "$BIN/promcheck" ./cmd/promcheck
+
+"$BIN/adnode" -listen 127.0.0.1:0 -beacon 250ms -stats 0 \
+    -http "127.0.0.1:$PORT" &
+NODE=$!
+
+"$BIN/promcheck" -url "http://127.0.0.1:$PORT/metrics" -timeout 20s -require \
+    node_sent_total:counter,node_received_total:counter,node_peers_live:gauge,node_seen_live:gauge,node_send_latency_seconds:histogram,node_receive_latency_seconds:histogram,discovery_neighbors:gauge,discovery_neighbors_new_total:counter,discovery_beacon_interarrival_seconds:histogram
+
+echo "metrics smoke: ok"
