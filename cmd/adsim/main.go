@@ -47,6 +47,7 @@ func main() {
 		collisions = flag.Bool("collisions", false, "enable receiver-side collision model")
 		seed       = flag.Uint64("seed", 1, "base random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
+		shards     = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
 		reps       = flag.Int("reps", 1, "replications (consecutive seeds)")
 		verbose    = flag.Bool("v", false, "print the full per-ad report")
 		showMap    = flag.Bool("map", false, "print ASCII field snapshots during the ad's life")
@@ -56,6 +57,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics-registry snapshot as JSON to this file at exit")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "adsim: -shards %d must be >= 0\n", *shards)
+		os.Exit(2)
+	}
 
 	sc := instantad.DefaultScenario()
 	if *cfgFile != "" {
@@ -116,6 +121,7 @@ func main() {
 	override("collisions", func() { sc.Collisions = *collisions })
 	override("seed", func() { sc.Seed = *seed })
 	override("workers", func() { sc.Workers = *workers })
+	override("shards", func() { sc.Shards = *shards })
 	// Default-on parallelism: a config file may pin Workers, but when nothing
 	// chose a value the simulator uses every core — safe because results are
 	// bit-identical for any worker count.

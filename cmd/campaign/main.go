@@ -31,10 +31,15 @@ func main() {
 		skew    = flag.Float64("skew", 0.8, "category Zipf skew")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
+		shards  = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
 		percat  = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
 		metOut  = flag.String("metrics-out", "", "write the last rate's metrics-registry snapshot as JSON to this file at exit")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "campaign: -shards %d must be >= 0\n", *shards)
+		os.Exit(2)
+	}
 
 	var apm []float64
 	for _, part := range strings.Split(*rates, ",") {
@@ -51,6 +56,7 @@ func main() {
 	sc.CacheK = *cacheK
 	sc.Seed = *seed
 	sc.Workers = *workers
+	sc.Shards = *shards
 	sc.SimTime = 60 + *window + *life + 60
 
 	base := instantad.CampaignConfig{

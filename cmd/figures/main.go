@@ -35,10 +35,15 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
 		seed       = flag.Uint64("seed", 1, "base random seed")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
+		shards     = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -shards %d must be >= 0\n", *shards)
+		os.Exit(2)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -100,6 +105,7 @@ func main() {
 		opts.Base = instantad.DefaultScenario()
 	}
 	opts.Base.Workers = *workers
+	opts.Base.Shards = *shards
 
 	show := func(f instantad.Figure, err error) {
 		if err != nil {

@@ -67,6 +67,8 @@ type scenarioJSON struct {
 	SimTime     float64 `json:"sim_time"`
 	SampleEvery float64 `json:"sample_every,omitempty"`
 	Seed        uint64  `json:"seed"`
+	Workers     int     `json:"workers,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
 }
 
 type popularityJSON struct {
@@ -116,6 +118,8 @@ func Encode(w io.Writer, sc experiment.Scenario) error {
 		SimTime:            sc.SimTime,
 		SampleEvery:        sc.SampleEvery,
 		Seed:               sc.Seed,
+		Workers:            sc.Workers,
+		Shards:             sc.Shards,
 	}
 	if sc.Popularity.Enabled {
 		j.Popularity = &popularityJSON{
@@ -176,6 +180,8 @@ func Decode(r io.Reader) (experiment.Scenario, error) {
 		SimTime:            j.SimTime,
 		SampleEvery:        j.SampleEvery,
 		Seed:               j.Seed,
+		Workers:            j.Workers,
+		Shards:             j.Shards,
 	}
 	sc.IssueAt.X, sc.IssueAt.Y = j.IssueAtX, j.IssueAtY
 	if j.Popularity != nil {

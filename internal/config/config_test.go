@@ -18,6 +18,8 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 	sc.Collisions = true
 	sc.DIS = 200
 	sc.IssueAt.X, sc.IssueAt.Y = 100, 200
+	sc.Workers = 6
+	sc.Shards = 4
 	sc.Popularity = core.PopularityConfig{
 		Enabled: true, F: 4, L: 16, SketchSeed: 9, RInc: 50, DInc: 20, RMax: 900, DMax: 500,
 	}
@@ -114,5 +116,44 @@ func TestLoadedScenarioRuns(t *testing.T) {
 	}
 	if res.Messages != direct.Messages || res.DeliveryRate != direct.DeliveryRate {
 		t.Error("loaded scenario diverged from the original")
+	}
+}
+
+// TestShardsWorkersOmittedStayDefault pins backward compatibility: files
+// written before the workers/shards fields existed decode with both at 0
+// (meaning "pick the default"), and the zero values are omitted on encode so
+// new files stay loadable by older builds.
+func TestShardsWorkersOmittedStayDefault(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, "\"workers\"") || strings.Contains(s, "\"shards\"") {
+		t.Fatalf("zero workers/shards serialized: %s", s)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 0 || got.Shards != 0 {
+		t.Fatalf("defaults decoded as workers=%d shards=%d, want 0/0", got.Workers, got.Shards)
+	}
+}
+
+// TestDecodeRejectsNegativeShards checks validation runs on decoded files.
+func TestDecodeRejectsNegativeShards(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Shards = 2
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"shards": 2`, `"shards": -2`, 1)
+	if !strings.Contains(bad, `"shards": -2`) {
+		t.Fatal("fixture did not contain a shards field to corrupt")
+	}
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("negative shards accepted")
 	}
 }

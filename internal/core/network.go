@@ -178,6 +178,13 @@ func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg C
 	}
 	n.ch = ch
 	s.SetBatchPrepare(n.batchPrepare)
+	if ch.ShardCount() > 1 {
+		// Route each peer's round decides to its tile stripe's worker. The
+		// executor consults the map after batchPrepare (which refreshes the
+		// grid), so a peer that crossed a tile boundary is re-routed at the
+		// same batch its stripe assignment changes.
+		s.SetShardMap(ch.ShardCount(), ch.ShardOf)
+	}
 	n.peers = make([]*Peer, len(models))
 	for i := range models {
 		n.peers[i] = &Peer{

@@ -143,6 +143,12 @@ type Scenario struct {
 	// the two-phase executor only parallelizes the read-only decision half
 	// of each round (see docs/PERFORMANCE.md). Zero means 1 (sequential).
 	Workers int
+	// Shards sets the radio channel's spatial tile-stripe count. Any value
+	// ≥ 1 produces bit-identical results to 1 — sharding parallelizes the
+	// grid snapshot rebuild and gives round decides tile locality without
+	// touching query semantics or event order (see docs/PERFORMANCE.md).
+	// Zero means 1 (unsharded).
+	Shards int
 	// RoundSlots overrides the per-round phase quantization
 	// (core.Config.RoundSlots); zero selects the default 64.
 	RoundSlots int
@@ -231,6 +237,9 @@ func (sc Scenario) Validate() error {
 	if sc.Workers < 0 {
 		return fmt.Errorf("experiment: negative workers %d", sc.Workers)
 	}
+	if sc.Shards < 0 {
+		return fmt.Errorf("experiment: negative shards %d", sc.Shards)
+	}
 	if sc.RoundSlots < 0 {
 		return fmt.Errorf("experiment: negative round slots %d", sc.RoundSlots)
 	}
@@ -290,6 +299,7 @@ func (sc Scenario) radioConfig() radio.Config {
 		cfg.Energy = radio.DefaultEnergy()
 	}
 	cfg.MaxSpeed = sc.SpeedMean + sc.SpeedDelta
+	cfg.Shards = sc.Shards
 	return cfg
 }
 
@@ -464,6 +474,7 @@ func (sc Scenario) Build() (*Sim, error) {
 	reg := obs.NewRegistry()
 	s.SetRegistry(reg)
 	col.InstrumentWith(reg)
+	net.Channel().InstrumentWith(reg)
 	net.SetObserver(col)
 	net.Start()
 	if sc.ChurnOnMean > 0 {

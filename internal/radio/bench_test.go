@@ -88,3 +88,23 @@ func BenchmarkNodesWithin(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkQueryScratchSharded guards the shard-local query scratch path:
+// stripe-parallel decides query through QueryScratch against a sharded
+// snapshot, and that path must stay allocation-free (the CI alloc guard
+// greps this benchmark's allocs/op).
+func BenchmarkQueryScratchSharded(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Range = 125
+	cfg.Shards = 8
+	_, ch := denseChannel(b, cfg)
+	ch.RefreshGrid()
+	q := ch.NewQueryScratch()
+	center := geo.Point{X: 750, Y: 750}
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = q.AppendNodesWithin(buf[:0], center, 125, -1)
+	}
+}

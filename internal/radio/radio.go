@@ -64,6 +64,14 @@ type Config struct {
 	GridRefresh float64
 	// MaxSpeed bounds node speed; it sizes the grid-staleness slack.
 	MaxSpeed float64
+	// Shards splits the field into that many vertical tile stripes, each
+	// owning a contiguous block of grid-cell columns over the shared CSR
+	// arena (see shard.go). The snapshot is then rebuilt in parallel, one
+	// goroutine per stripe writing its disjoint window, each stripe padded
+	// by a halo ring wide enough to cover a protocol-range query. Queries
+	// and results are bit-identical for any value: sharding changes where
+	// work runs, never what it computes. 0 and 1 both mean unsharded.
+	Shards int
 }
 
 // DefaultConfig returns the canonical channel used in the experiments:
@@ -99,6 +107,9 @@ func (c Config) validate() error {
 		if c.FadeZone != 0 {
 			return fmt.Errorf("radio: fade zone %v outside [0, range)", c.FadeZone)
 		}
+	}
+	if c.Shards < 0 || c.Shards > 4096 {
+		return fmt.Errorf("radio: shard count %d outside [0, 4096]", c.Shards)
 	}
 	return c.Energy.validate()
 }
@@ -171,6 +182,22 @@ type Channel struct {
 	inflight [][]*reception
 	recFree  []*reception
 
+	// Spatial sharding of the grid into tile stripes (see shard.go). All
+	// buffers are reused across rebuilds; shardOf/shardPrev swap roles each
+	// rebuild so tile crossings can be counted without copying.
+	shards      int       // configured stripe count (≥ 1)
+	stripes     []stripe  // per-stripe windows and occupancy of the last rebuild
+	stripeOfCx  []int32   // owning stripe per cell column of the last rebuild
+	cellOf      []int32   // snapshot cell index per node
+	shardOf     []int32   // owning stripe per node; nil while unsharded/unbuilt
+	shardPrev   []int32   // previous rebuild's assignment (migration detection)
+	stripeNodes [][]int32 // per-stripe node ids, ascending
+	blockBB     [][4]float64
+	blockMig    []uint64
+	outbox      []uint64 // per-(src stripe, dst stripe) delivery counts
+	shardStats  ShardStats
+	ins         *radioInstruments
+
 	// Energy accounting (see energy.go).
 	energyTx, energyRx float64
 	energyPerNode      []float64
@@ -212,11 +239,18 @@ func New(s *sim.Simulator, cfg Config, models []mobility.Model, deliver DeliverF
 		rnd:      rnd,
 		maxRange: cfg.Range,
 		cellSize: cfg.Range,
+		shards:   cfg.Shards,
 		memoGen:  1,
 		posGen:   make([]uint64, len(models)),
 		posMemo:  make([]geo.Point, len(models)),
 		snapPos:  make([]geo.Point, len(models)),
 		inflight: make([][]*reception, len(models)),
+	}
+	if c.shards < 1 {
+		c.shards = 1
+	}
+	if c.shards > 1 {
+		c.outbox = make([]uint64, c.shards*c.shards)
 	}
 	if cfg.Energy.Enabled {
 		c.energyPerNode = make([]float64, len(models))
@@ -318,10 +352,12 @@ func (c *Channel) PositionAt(i int, t float64) geo.Point {
 // until the array fits, trading a wider candidate window for bounded memory.
 const maxGridCells = 1 << 20
 
-// rebuildGrid rebuilds the CSR snapshot: a counting sort of node ids into
-// dense cells over the bounding box of the current positions. All buffers
-// are reused, so a rebuild is allocation-free after the first.
-func (c *Channel) rebuildGrid() {
+// rebuildUnsharded rebuilds the CSR snapshot sequentially: a counting sort
+// of node ids into dense cells over the bounding box of the current
+// positions. All buffers are reused, so a rebuild is allocation-free after
+// the first. Sharded channels rebuild through rebuildSharded (shard.go)
+// instead, which produces an identical snapshot in parallel stripes.
+func (c *Channel) rebuildUnsharded() {
 	now := c.sim.Now()
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
@@ -645,6 +681,14 @@ func (c *Channel) transmit(f Frame, recv []int) {
 	if c.cfg.FadeZone > 0 {
 		senderPos = c.PositionOf(f.From)
 	}
+	// Outbox accounting for sharded channels: every routed (frame, receiver)
+	// pair is tallied per (source stripe, destination stripe). Observational
+	// only — the event queue itself stays global, so commit order is (time,
+	// seq) regardless of the tiling.
+	srcShard := -1
+	if c.outbox != nil && c.shardOf != nil {
+		srcShard = int(c.shardOf[f.From])
+	}
 	b := c.getBatch()
 	b.f = f
 	for _, j := range recv {
@@ -674,6 +718,16 @@ func (c *Channel) transmit(f Frame, recv []int) {
 				continue
 			}
 			b.recs = append(b.recs, rec)
+		}
+		if srcShard >= 0 {
+			dst := int(c.shardOf[j])
+			c.outbox[srcShard*c.shards+dst]++
+			if dst != srcShard {
+				c.shardStats.CrossDeliveries++
+				if c.ins != nil {
+					c.ins.cross.Inc()
+				}
+			}
 		}
 		b.recv = append(b.recv, j)
 	}

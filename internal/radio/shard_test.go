@@ -1,0 +1,250 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/obs"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+// shardedPair builds two channels over the same models and the same
+// simulator — one unsharded, one with k stripes — so queries against both
+// observe one shared clock.
+func shardedPair(t *testing.T, cfg Config, models []mobility.Model, k int) (s *sim.Simulator, c1, ck *Channel) {
+	t.Helper()
+	s = sim.New()
+	c1, err := New(s, cfg, models, func(int, Frame) {}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = k
+	ck, err = New(s, cfg, models, func(int, Frame) {}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c1, ck
+}
+
+// TestShardedSnapshotArraysIdentical is the strongest form of the
+// equivalence contract: after a rebuild, a sharded channel's CSR arrays and
+// grid geometry are bit-identical to the unsharded channel's over the same
+// constellation — not merely equivalent, the same bytes.
+func TestShardedSnapshotArraysIdentical(t *testing.T) {
+	r := rng.New(11)
+	const n = 400
+	models := make([]mobility.Model, n)
+	for i := range models {
+		models[i] = mobility.NewStatic(geo.Point{X: r.Range(0, 1500), Y: r.Range(0, 1500)})
+	}
+	cfg := DefaultConfig()
+	cfg.Range = 125
+	for _, k := range []int{2, 3, 8, 64} {
+		_, c1, ck := shardedPair(t, cfg, models, k)
+		c1.RefreshGrid()
+		ck.RefreshGrid()
+		if c1.gridCell != ck.gridCell || c1.gridNX != ck.gridNX || c1.gridNY != ck.gridNY ||
+			c1.gridMinX != ck.gridMinX || c1.gridMinY != ck.gridMinY {
+			t.Fatalf("k=%d: geometry (%v,%d,%d,%v,%v) != (%v,%d,%d,%v,%v)", k,
+				ck.gridCell, ck.gridNX, ck.gridNY, ck.gridMinX, ck.gridMinY,
+				c1.gridCell, c1.gridNX, c1.gridNY, c1.gridMinX, c1.gridMinY)
+		}
+		if len(c1.cellStart) != len(ck.cellStart) {
+			t.Fatalf("k=%d: cellStart lengths %d vs %d", k, len(ck.cellStart), len(c1.cellStart))
+		}
+		for i := range c1.cellStart {
+			if c1.cellStart[i] != ck.cellStart[i] {
+				t.Fatalf("k=%d: cellStart[%d] = %d, want %d", k, i, ck.cellStart[i], c1.cellStart[i])
+			}
+		}
+		for i := range c1.cellNodes {
+			if c1.cellNodes[i] != ck.cellNodes[i] {
+				t.Fatalf("k=%d: cellNodes[%d] = %d, want %d", k, i, ck.cellNodes[i], c1.cellNodes[i])
+			}
+		}
+		if got := ck.EffectiveShards(); got < 2 || got > k {
+			t.Fatalf("k=%d: effective shards %d", k, got)
+		}
+	}
+}
+
+// TestShardedQueriesMatchUnshardedProperty drives random constellations of
+// static and moving nodes through fresh and stale snapshots on an unsharded
+// and a sharded channel: every query must return the same nodes in the same
+// order, because candidate order is what feeds the protocol's shared RNG.
+func TestShardedQueriesMatchUnshardedProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 3
+		k := int(kRaw%7) + 2
+		r := rng.New(seed)
+		models := make([]mobility.Model, n)
+		for i := range models {
+			p := geo.Point{X: r.Range(0, 1400), Y: r.Range(0, 1400)}
+			if i%3 == 0 {
+				// Movers stay under DefaultConfig's 15 m/s MaxSpeed.
+				models[i] = newLinear(p, geo.Vec{X: r.Range(-10, 10), Y: r.Range(-10, 10)})
+			} else {
+				models[i] = mobility.NewStatic(p)
+			}
+		}
+		s, c1, ck := shardedPair(t, DefaultConfig(), models, k)
+		ok := true
+		compare := func() {
+			for i := 0; i < n; i++ {
+				a := c1.NeighborsOf(i)
+				b := ck.NeighborsOf(i)
+				if len(a) != len(b) {
+					ok = false
+					return
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						ok = false
+						return
+					}
+				}
+			}
+			center := geo.Point{X: 700, Y: 700}
+			a := c1.NodesWithin(center, 400, -1)
+			b := ck.NodesWithin(center, 400, -1)
+			if len(a) != len(b) {
+				ok = false
+				return
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					ok = false
+					return
+				}
+			}
+		}
+		// t=0 queries a fresh snapshot; t=0.9 queries the same snapshot gone
+		// stale (GridRefresh is 1.0), exercising the slack re-filter path.
+		s.Schedule(0, compare)
+		s.Schedule(0.9, compare)
+		s.Run(1)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHaloBoundaryBroadcast pins the halo contract: a broadcast issued next
+// to a stripe edge reaches receivers on both sides, the cross-stripe leg is
+// counted, and the per-shard-pair outbox matches the delivery split.
+func TestHaloBoundaryBroadcast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterMax = 0
+	cfg.Shards = 2
+	// Anchors at x=0 and x=1000 pin a 5-column grid (250 m cells); two
+	// stripes split it [0,2)+[2,5), so the tile edge sits at x=500. The
+	// sender at x=480 is owned by stripe 0 with receivers straddling the
+	// edge: x=300 (stripe 0) and x=600 (stripe 1, inside the sender's halo).
+	pts := []geo.Point{{X: 480}, {X: 300}, {X: 600}, {X: 0}, {X: 1000}}
+	var got []int
+	s, ch := staticChannel(t, cfg, pts, func(to int, f Frame) { got = append(got, to) })
+	s.Schedule(0, func() { ch.Broadcast(Frame{From: 0, Bytes: 64}) })
+	s.Run(1)
+	if len(got) != 2 || got[0]+got[1] != 3 {
+		t.Fatalf("delivered to %v, want {1, 2}", got)
+	}
+	if s0, s2 := ch.ShardOf(0), ch.ShardOf(2); s0 != 0 || s2 != 1 {
+		t.Fatalf("ShardOf(0)=%d ShardOf(2)=%d, want 0 and 1", s0, s2)
+	}
+	st := ch.ShardStats()
+	if st.CrossDeliveries != 1 {
+		t.Fatalf("cross deliveries = %d, want 1", st.CrossDeliveries)
+	}
+	if ch.Outbox(0, 0) != 1 || ch.Outbox(0, 1) != 1 || ch.Outbox(1, 0) != 0 {
+		t.Fatalf("outbox = [[%d %d][%d %d]], want [[1 1][0 0]]",
+			ch.Outbox(0, 0), ch.Outbox(0, 1), ch.Outbox(1, 0), ch.Outbox(1, 1))
+	}
+	// The stripe-1 receiver sits one column past the edge, well inside the
+	// halo ring mirrored for stripe 0; the rebuild must have counted it.
+	if st.HaloMirrored == 0 {
+		t.Fatal("halo population not counted at rebuild")
+	}
+}
+
+// TestPerShardCellBudget is the regression test for the maxGridCells fix: a
+// huge sparse field that forces the unsharded build to double its cell size
+// keeps full resolution when sharded, because the dense-array budget is per
+// stripe rather than global.
+func TestPerShardCellBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Range = 1 // cell size 1 m: a 1500 m field wants 1501² ≈ 2.25 M cells
+	cfg.MaxSpeed = 0
+	models := []mobility.Model{
+		mobility.NewStatic(geo.Point{X: 0, Y: 0}),
+		mobility.NewStatic(geo.Point{X: 1500, Y: 1500}),
+	}
+	_, c1, c4 := shardedPair(t, cfg, models, 4)
+	c1.RefreshGrid()
+	c4.RefreshGrid()
+	if got := c1.GridCellSize(); got != 2 {
+		t.Fatalf("unsharded cell size = %v, want 2 (budget-doubled)", got)
+	}
+	if got := c4.GridCellSize(); got != 1 {
+		t.Fatalf("4-stripe cell size = %v, want 1 (per-stripe budget)", got)
+	}
+}
+
+// TestShardMigrationCounting drives a node across a tile edge between two
+// rebuilds and checks the migration, rebuild and halo counters, with the
+// registry instruments attached so the instrumented path is exercised too.
+func TestShardMigrationCounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.MaxSpeed = 20
+	// Same 5-column layout as the halo test: edge at x=500. The mover
+	// starts at x=490 (stripe 0) and crosses to x=510 (stripe 1) by the
+	// t=1 rebuild.
+	models := []mobility.Model{
+		mobility.NewStatic(geo.Point{X: 0}),
+		mobility.NewStatic(geo.Point{X: 1000}),
+		newLinear(geo.Point{X: 490}, geo.Vec{X: 20}),
+	}
+	s := sim.New()
+	ch, err := New(s, cfg, models, func(int, Frame) {}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.InstrumentWith(obs.NewRegistry())
+	s.Schedule(0, ch.RefreshGrid)
+	s.Schedule(1, ch.RefreshGrid)
+	s.Run(2)
+	st := ch.ShardStats()
+	if st.Rebuilds != 2 {
+		t.Fatalf("rebuilds = %d, want 2", st.Rebuilds)
+	}
+	if st.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1 (the edge crossing)", st.Migrations)
+	}
+	if st.HaloMirrored == 0 {
+		t.Fatal("halo population not counted")
+	}
+	if got := ch.ShardOf(2); got != 1 {
+		t.Fatalf("mover's stripe after crossing = %d, want 1", got)
+	}
+}
+
+// TestShardAccessorsUnsharded pins the degenerate accessors: an unsharded
+// channel reports one shard, assigns everything to it, and has no outbox.
+func TestShardAccessorsUnsharded(t *testing.T) {
+	pts := []geo.Point{{X: 0}, {X: 100}}
+	_, ch := staticChannel(t, DefaultConfig(), pts, nil)
+	ch.RefreshGrid()
+	if ch.ShardCount() != 1 || ch.EffectiveShards() != 1 {
+		t.Fatalf("shard count %d/%d, want 1/1", ch.ShardCount(), ch.EffectiveShards())
+	}
+	if ch.ShardOf(0) != 0 || ch.ShardOf(1) != 0 {
+		t.Fatal("unsharded nodes not all in shard 0")
+	}
+	if ch.Outbox(0, 0) != 0 {
+		t.Fatal("unsharded channel has outbox traffic")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -232,5 +233,91 @@ func TestRunDrainStillAdvancesClock(t *testing.T) {
 	}
 	if s.Now() != 11 {
 		t.Fatalf("now = %v, want 11", s.Now())
+	}
+}
+
+// TestShardMapPreservesSeqOrderWithinShard folds 8 shard keys onto 2 mapped
+// shards and checks the ScheduleSplit ordering guarantee survives the map:
+// events of one mapped shard are decided by one worker in seq order.
+func TestShardMapPreservesSeqOrderWithinShard(t *testing.T) {
+	s := New()
+	s.SetWorkers(3)
+	s.SetShardMap(2, func(key int) int { return key / 4 })
+	var order [2][]int
+	for rep := 0; rep < 30; rep++ {
+		for key := 0; key < 8; key++ {
+			sh, tag := key/4, rep*8+key
+			s.ScheduleSplit(1, key, func(int) {
+				order[sh] = append(order[sh], tag) // same worker per mapped shard: no race
+			}, func() {})
+		}
+	}
+	s.RunAll()
+	for sh := range order {
+		if len(order[sh]) != 30*4 {
+			t.Fatalf("shard %d decided %d events, want %d", sh, len(order[sh]), 30*4)
+		}
+		for i := 1; i < len(order[sh]); i++ {
+			if order[sh][i] <= order[sh][i-1] {
+				t.Fatalf("shard %d decide order not ascending at %d: %v", sh, i, order[sh][:i+1])
+			}
+		}
+	}
+}
+
+// TestShardMapRemapsBetweenBatches checks the migration contract: the shard
+// map is consulted afresh at every batch, so a key reassigned between
+// batches runs on its new shard's worker at the very next batch.
+func TestShardMapRemapsBetweenBatches(t *testing.T) {
+	s := New()
+	s.SetWorkers(2)
+	assign := []int{0, 1} // key -> shard, swapped between the two batches
+	s.SetShardMap(2, func(key int) int { return assign[key] })
+	var mu sync.Mutex
+	worker := map[[2]int]int{} // (batch, key) -> deciding worker
+	schedule := func(batch int, at float64) {
+		for key := 0; key < 2; key++ {
+			k := key
+			s.ScheduleSplit(at, k, func(w int) {
+				mu.Lock()
+				worker[[2]int{batch, k}] = w
+				mu.Unlock()
+			}, func() {})
+		}
+	}
+	schedule(1, 1)
+	s.Schedule(2, func() { assign[0], assign[1] = 1, 0 })
+	schedule(2, 3)
+	s.RunAll()
+	if worker[[2]int{1, 0}] == worker[[2]int{1, 1}] {
+		t.Fatalf("distinct shards share a worker: %v", worker)
+	}
+	if worker[[2]int{2, 0}] != worker[[2]int{1, 1}] || worker[[2]int{2, 1}] != worker[[2]int{1, 0}] {
+		t.Fatalf("swapped shard map did not reroute keys: %v", worker)
+	}
+}
+
+// TestShardMapNilRestoresIdentity pins that clearing the map reverts to
+// key-modulo routing (the legacy per-peer affinity).
+func TestShardMapNilRestoresIdentity(t *testing.T) {
+	s := New()
+	s.SetWorkers(2)
+	s.SetShardMap(4, func(key int) int { return 0 })
+	s.SetShardMap(0, nil)
+	var mu sync.Mutex
+	workers := map[int]int{}
+	for key := 0; key < 4; key++ {
+		k := key
+		s.ScheduleSplit(1, k, func(w int) {
+			mu.Lock()
+			workers[k] = w
+			mu.Unlock()
+		}, func() {})
+	}
+	s.RunAll()
+	for k, w := range workers {
+		if w != k%2 {
+			t.Fatalf("key %d decided on worker %d, want %d", k, w, k%2)
+		}
 	}
 }

@@ -85,6 +85,14 @@ type Simulator struct {
 	pool    []chan struct{} // worker wake channels; nil when no pool is live
 	poolWG  sync.WaitGroup
 
+	// Spatial shard routing (see SetShardMap). shardMap translates an
+	// event's shard key into a dynamic shard id; workQ holds the per-worker
+	// event buckets of the batch being dispatched.
+	shardMap   func(key int) int
+	numShards  int
+	workQ      [][]*Event
+	shardItems []int // per-shard event counts of the current batch (instrumented only)
+
 	// Observability (see SetRegistry). ins is nil when uninstrumented; all
 	// measurements are wall-clock side channels that never influence event
 	// order, so instrumented and bare runs stay bit-identical.
@@ -102,7 +110,10 @@ type simInstruments struct {
 	commitTime  *obs.Histogram
 	workersG    *obs.Gauge
 	utilization *obs.Gauge
+	utilMin     *obs.Gauge
 	pending     *obs.Gauge
+	shardSkew   *obs.Gauge
+	shardItems  *obs.Histogram
 }
 
 // New returns an empty simulator with the clock at 0.
@@ -142,8 +153,15 @@ func (s *Simulator) SetRegistry(reg *obs.Registry) {
 			"configured decision-phase parallelism"),
 		utilization: reg.Gauge("sim_worker_utilization",
 			"busy fraction of the worker pool over the last parallel decide phase"),
+		utilMin: reg.Gauge("sim_worker_utilization_min",
+			"busy fraction of the least-loaded worker over the last parallel decide phase"),
 		pending: reg.Gauge("sim_pending_events",
 			"events queued at the last batch boundary"),
+		shardSkew: reg.Gauge("sim_shard_skew",
+			"max/mean per-shard event ratio of the last shard-routed batch (1 = balanced)"),
+		shardItems: reg.Histogram("sim_shard_batch_items",
+			"split events routed to one shard in one batch",
+			obs.ExpBuckets(1, 2, 14)),
 	}
 	s.ins.workersG.Set(float64(s.Workers()))
 }
@@ -273,6 +291,71 @@ func (s *Simulator) Workers() int {
 // snapshot. A nil fn removes the hook.
 func (s *Simulator) SetBatchPrepare(fn func()) { s.prepare = fn }
 
+// SetShardMap installs a dynamic translation from split-event shard keys to
+// shard ids in [0, numShards). When set, a batch's decides are routed to
+// worker fn(key) % Workers() instead of key % Workers(), and fn is consulted
+// afresh at every batch — after the prepare hook has run — so a spatial map
+// that reassigns keys between batches (peer migration across tiles) takes
+// effect at the next batch boundary. fn must be pure during a batch: the
+// executor calls it once per event, sequentially, before any decide runs.
+// Events mapping to the same shard id keep the same-worker, seq-order
+// guarantee documented on ScheduleSplit. A nil fn restores identity routing.
+func (s *Simulator) SetShardMap(numShards int, fn func(key int) int) {
+	if fn == nil || numShards < 1 {
+		s.shardMap, s.numShards = nil, 0
+		return
+	}
+	s.shardMap, s.numShards = fn, numShards
+}
+
+// bucketBatch distributes the current batch's events into per-worker queues
+// in batch (= seq) order, applying the shard map when installed. Runs
+// sequentially after prepare, before the workers wake. When instrumented and
+// shard-routed, it also tallies per-shard batch sizes and the skew gauge so
+// imbalance is visible per shard instead of averaged away.
+func (s *Simulator) bucketBatch() {
+	nw := len(s.pool)
+	for len(s.workQ) < nw {
+		s.workQ = append(s.workQ, nil)
+	}
+	for w := 0; w < nw; w++ {
+		s.workQ[w] = s.workQ[w][:0]
+	}
+	tally := s.ins != nil && s.shardMap != nil && s.numShards > 0
+	if tally {
+		for len(s.shardItems) < s.numShards {
+			s.shardItems = append(s.shardItems, 0)
+		}
+		for i := 0; i < s.numShards; i++ {
+			s.shardItems[i] = 0
+		}
+	}
+	for _, e := range s.batch {
+		k := int(e.shard)
+		if s.shardMap != nil {
+			k = s.shardMap(k)
+		}
+		s.workQ[k%nw] = append(s.workQ[k%nw], e)
+		if tally {
+			s.shardItems[k%s.numShards]++
+		}
+	}
+	if tally {
+		maxItems := 0
+		for i := 0; i < s.numShards; i++ {
+			if s.shardItems[i] > 0 {
+				s.ins.shardItems.Observe(float64(s.shardItems[i]))
+			}
+			if s.shardItems[i] > maxItems {
+				maxItems = s.shardItems[i]
+			}
+		}
+		if mean := float64(len(s.batch)) / float64(s.numShards); mean > 0 {
+			s.ins.shardSkew.Set(float64(maxItems) / mean)
+		}
+	}
+}
+
 // Cancel removes a pending event from the queue. Cancelling an event that has
 // already fired, or cancelling twice, is a no-op.
 func (s *Simulator) Cancel(e *Event) {
@@ -374,6 +457,7 @@ func (s *Simulator) runBatch() {
 	parallel := s.workers > 1 && len(s.batch) > 1
 	if parallel {
 		s.ensurePool()
+		s.bucketBatch()
 		s.poolWG.Add(len(s.pool))
 		for _, ch := range s.pool {
 			ch <- struct{}{}
@@ -392,14 +476,23 @@ func (s *Simulator) runBatch() {
 		ins.decideTime.Observe(wall.Seconds())
 		if parallel && wall > 0 {
 			// Utilization: total busy worker time over the pool's capacity
-			// for this phase. 1.0 means no worker ever idled.
+			// for this phase. 1.0 means no worker ever idled. The mean hides
+			// imbalance, so the least-loaded worker's fraction is published
+			// alongside it — with spatial sharding, a low minimum means some
+			// tile's worker sat idle while another's ran hot.
 			var busy time.Duration
+			minBusy := s.workerBusy[0]
 			for _, d := range s.workerBusy {
 				busy += d
+				if d < minBusy {
+					minBusy = d
+				}
 			}
 			ins.utilization.Set(float64(busy) / (float64(len(s.pool)) * float64(wall)))
+			ins.utilMin.Set(float64(minBusy) / float64(wall))
 		} else {
 			ins.utilization.Set(1)
+			ins.utilMin.Set(1)
 		}
 		mark = now
 	}
@@ -430,7 +523,6 @@ func (s *Simulator) ensurePool() {
 	s.closePool()
 	s.pool = make([]chan struct{}, s.workers)
 	s.workerBusy = make([]time.Duration, s.workers)
-	nw := s.workers
 	for w := range s.pool {
 		ch := make(chan struct{})
 		s.pool[w] = ch
@@ -444,10 +536,11 @@ func (s *Simulator) ensurePool() {
 				if timed {
 					start = time.Now()
 				}
-				for _, e := range s.batch {
-					// Shard-affine assignment: equal shards always land on
-					// the same worker, in batch (= seq) order.
-					if int(e.shard)%nw == w && !e.canned {
+				for _, e := range s.workQ[w] {
+					// Shard-affine assignment: bucketBatch routed equal
+					// (mapped) shards to the same worker, in batch (= seq)
+					// order.
+					if !e.canned {
 						e.decide(w)
 					}
 				}

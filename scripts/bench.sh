@@ -1,7 +1,9 @@
 #!/bin/sh
 # bench.sh — run the hot-path microbenchmarks plus the end-to-end Fig. 7
 # N=1000 sweep and write the results to BENCH_hotpath.json at the repo root,
-# then the sequential-vs-parallel executor comparison to BENCH_parallel.json.
+# then the sequential-vs-parallel executor comparison to BENCH_parallel.json,
+# then the shards × workers matrix at N=10^4 (plus the N=10^5 completion run)
+# to BENCH_shard.json.
 #
 # Usage:
 #   scripts/bench.sh            # default: -benchtime 2s micro, 3x end-to-end
@@ -14,15 +16,19 @@
 # BENCH_parallel.json adds "ncpu" and per-row "speedup_vs_workers_1" so the
 # numbers are interpretable on any host: on a single-core runner the sweep
 # measures batching overhead, not speedup (see docs/PERFORMANCE.md).
+# BENCH_shard.json follows the same convention with "speedup_vs_1x1" against
+# the shards=1/workers=1 row.
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="BENCH_hotpath.json"
 PAROUT="BENCH_parallel.json"
+SHARDOUT="BENCH_shard.json"
 TMP="$(mktemp)"
 PARTMP="$(mktemp)"
-trap 'rm -f "$TMP" "$PARTMP"' EXIT
+SHARDTMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP"' EXIT
 
 echo "==> micro: internal/radio + internal/sim (-benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkBroadcastDense$|BenchmarkBroadcastDenseCollisions$|BenchmarkNodesWithin' \
@@ -79,3 +85,37 @@ END { print "\n  ]" ; print "}" }
 ' "$PARTMP" > "$PAROUT"
 
 echo "==> wrote $PAROUT" >&2
+
+echo "==> sharded engine: BenchmarkShardMatrix N=10^4 (-benchtime 3x) + BenchmarkScale100k (1x)" >&2
+go test -run '^$' -bench 'BenchmarkShardMatrix' -benchtime 3x . | tee "$SHARDTMP" >&2
+go test -run '^$' -bench 'BenchmarkScale100k$' -benchtime 1x . | tee -a "$SHARDTMP" >&2
+
+awk -v ncpu="$NCPU" '
+BEGIN { print "{" ; print "  \"ncpu\": " ncpu "," ; print "  \"matrix\": [" ; n = 0 ; scale = "" }
+/^BenchmarkShardMatrix/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns = $i
+    if (ns == "") next
+    if (name ~ /shards=1\/workers=1$/) base = ns
+    if (n++) print ","
+    line = "    {\"name\": \"" name "\", \"ns_per_op\": " ns
+    if (base != "" && ns + 0 > 0)
+        line = line sprintf(", \"speedup_vs_1x1\": %.3f", base / ns)
+    printf "%s}", line
+}
+/^BenchmarkScale100k/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") scale = $i
+}
+END {
+    print "\n  ],"
+    if (scale != "")
+        print "  \"scale_run\": {\"name\": \"BenchmarkScale100k\", \"peers\": 100000, \"shards\": 8, \"ns_per_op\": " scale "}"
+    else
+        print "  \"scale_run\": null"
+    print "}"
+}
+' "$SHARDTMP" > "$SHARDOUT"
+
+echo "==> wrote $SHARDOUT" >&2
