@@ -12,6 +12,13 @@
 //
 //	adnode -listen 127.0.0.1:7001 -peers 127.0.0.1:7002,127.0.0.1:7003
 //
+// Wire layer: each gossip round's firing ads are coalesced into multi-ad
+// batch frames under an MTU-aware soft cap (-batch-cap; negative reverts to
+// one envelope per ad). With -digest N the node also sends its cached ad-ID
+// digest every N rounds and answers pull requests for missing IDs, with a
+// per-peer serve block window (-block) and an optional per-round byte
+// budget (-round-bytes) rate-limiting hot neighborhoods.
+//
 // Observability: every -stats interval the daemon prints a one-line JSON
 // snapshot of its counters, per-peer send health and neighbor table, and it
 // prints a final snapshot on SIGINT/SIGTERM. With -http the same snapshot
@@ -63,6 +70,10 @@ func main() {
 		cacheK    = flag.Int("cache", 10, "cache capacity")
 		dis       = flag.Float64("dis", 0, "annulus width (enables mechanism 1)")
 		opt2      = flag.Bool("opt2", true, "enable overhearing postponement")
+		batchCap  = flag.Int("batch-cap", 0, "batch frame soft cap, bytes (0 = 1400 default, negative disables batching)")
+		digest    = flag.Int("digest", 0, "send a cache digest every N gossip rounds (0 = off)")
+		block     = flag.Duration("block", 0, "per-peer serve block window after answering a pull (default 4×round when digests are on)")
+		roundB    = flag.Int("round-bytes", 0, "per-round byte budget for batches, digests and pull serves (0 = unlimited)")
 		issue     = flag.String("issue", "", "issue an ad with this text after startup")
 		adR       = flag.Float64("R", 500, "issued ad radius, m")
 		adD       = flag.Float64("D", 180, "issued ad duration, s")
@@ -94,6 +105,10 @@ func main() {
 		BeaconInterval: *beacon,
 		NeighborTTL:    *ttl,
 		AdvertiseAddr:  *advertise,
+		BatchSoftCap:   *batchCap,
+		DigestEvery:    *digest,
+		BlockWindow:    *block,
+		RoundBytes:     *roundB,
 	}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")

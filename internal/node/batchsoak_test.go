@@ -1,0 +1,237 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"instantad/internal/ads"
+	"instantad/internal/core"
+	"instantad/internal/geo"
+	"instantad/internal/node/memnet"
+)
+
+// The 10× soak: the PR-2 fault soak gossips 40 ads; this one pushes 400
+// through a lossy five-node memnet mesh, once with the batched wire layer
+// (digests on) and once with the legacy one-envelope-per-ad format, and
+// compares the medium's datagram bill per delivered ad. It is both the
+// acceptance test (≥2× fewer datagrams batched, digest hits non-zero, no
+// frame past the soft cap) and — as BenchmarkMemnetSoak — the source of
+// BENCH_node.json.
+const (
+	soakNodes      = 5
+	soakAdsPerNode = 80 // × 5 nodes = 400 ads, 10× the PR-2 soak's 40
+	soakAdD        = 3600.0
+	soakRound      = 30 * time.Millisecond
+	soakLoss       = 0.25
+	soakCacheK     = 512
+)
+
+// soakResult is one soak run's ledger.
+type soakResult struct {
+	converged     bool
+	elapsed       time.Duration
+	datagrams     uint64  // medium deliveries (ads + digests + pulls)
+	bytes         uint64  // payload bytes the medium carried
+	maxDatagram   uint64  // largest single datagram
+	deliveries    int     // ad deliveries required: ads × (nodes-1)
+	digestsSent   uint64  // across all nodes
+	digestHits    uint64  // across all nodes
+	pulledAds     uint64  // across all nodes
+	batchesSent   uint64  // across all nodes
+	avgBatchAds   float64 // mean ads per sent batch frame (histogram)
+	avgBatchBytes float64 // mean bytes per sent batch frame (histogram)
+}
+
+func (r soakResult) datagramsPerAd() float64 {
+	if r.deliveries == 0 {
+		return 0
+	}
+	return float64(r.datagrams) / float64(r.deliveries)
+}
+
+func (r soakResult) bytesPerAd() float64 {
+	if r.deliveries == 0 {
+		return 0
+	}
+	return float64(r.bytes) / float64(r.deliveries)
+}
+
+func (r soakResult) digestHitRate() float64 {
+	if r.digestsSent == 0 {
+		return 0
+	}
+	return float64(r.digestHits) / float64(r.digestsSent)
+}
+
+// runMemnetSoak gossips the 10× ad load across a lossy full mesh until every
+// node has heard every ad, then (batched mode) a settle period so digest
+// rounds demonstrate the anti-entropy steady state.
+func runMemnetSoak(tb testing.TB, batched bool, timeout time.Duration) soakResult {
+	tb.Helper()
+	sb, err := memnet.New(memnet.Config{Loss: soakLoss, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	epoch := time.Now()
+	nodes := make([]*Node, soakNodes)
+	for i := range nodes {
+		cfg := testConfig(uint32(i), geo.Point{X: float64(i) * 10})
+		cfg.ListenAddr = "mem:"
+		cfg.Transport = sb.Transport()
+		cfg.RoundTime = soakRound
+		cfg.CacheK = soakCacheK
+		if batched {
+			cfg.BatchSoftCap = 0 // MTU-aware default
+			cfg.DigestEvery = 2
+		} else {
+			cfg.BatchSoftCap = -1 // legacy envelope per ad: the baseline
+		}
+		n, err := New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		n.SetEpoch(epoch)
+		nodes[i] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				if err := a.AddPeer(b.Addr()); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	start := time.Now()
+	issued := make([]ads.ID, 0, soakNodes*soakAdsPerNode)
+	for _, n := range nodes {
+		for k := 0; k < soakAdsPerNode; k++ {
+			ad, err := n.Issue(core.AdSpec{R: 1500, D: soakAdD, Category: "petrol", Text: "soak load"})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			issued = append(issued, ad.ID)
+		}
+	}
+	converged := func() bool {
+		for _, n := range nodes {
+			for _, id := range issued {
+				if !n.Has(id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	ok := false
+	for time.Now().Before(deadline) {
+		if converged() {
+			ok = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The datagram bill is judged at convergence: how much did the medium
+	// carry to get every ad everywhere.
+	st := sb.Stats()
+	if batched && ok {
+		// Settle: with every cache converged, further digest rounds must be
+		// hits — the steady state where neighbors trade IDs, not payloads.
+		time.Sleep(10 * soakRound)
+	}
+	res := soakResult{
+		converged:  ok,
+		elapsed:    time.Since(start),
+		deliveries: len(issued) * (soakNodes - 1),
+	}
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+	res.datagrams = st.Delivered
+	res.bytes = st.DeliveredBytes
+	res.maxDatagram = sb.Stats().MaxDatagram // including the settle traffic
+	for _, n := range nodes {
+		s := n.Stats()
+		res.digestsSent += s.DigestsSent
+		res.digestHits += s.DigestHits
+		res.pulledAds += s.PulledAds
+		res.batchesSent += s.BatchesSent
+		if c := n.batchAds.Count(); c > 0 {
+			res.avgBatchAds += n.batchAds.Sum() / float64(c) / float64(soakNodes)
+			res.avgBatchBytes += n.batchBytes.Sum() / float64(n.batchBytes.Count()) / float64(soakNodes)
+		}
+	}
+	return res
+}
+
+// TestMemnetSoak10x is the wire-layer acceptance soak (run under -race in
+// CI): the batched stack must converge the 10× load with at least half the
+// datagrams per delivered ad of the unbatched baseline, produce digest hits,
+// keep multi-ad frames under the soft cap, and pack non-trivially.
+func TestMemnetSoak10x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second 10× memnet soak")
+	}
+	batched := runMemnetSoak(t, true, 60*time.Second)
+	if !batched.converged {
+		t.Fatalf("batched run never converged: %+v", batched)
+	}
+	unbatched := runMemnetSoak(t, false, 60*time.Second)
+	if !unbatched.converged {
+		t.Fatalf("unbatched run never converged: %+v", unbatched)
+	}
+	t.Logf("batched:   %.2f datagrams/ad, %.0f bytes/ad, %d batches, avg %.1f ads/batch, hit rate %.2f, %v",
+		batched.datagramsPerAd(), batched.bytesPerAd(), batched.batchesSent,
+		batched.avgBatchAds, batched.digestHitRate(), batched.elapsed)
+	t.Logf("unbatched: %.2f datagrams/ad, %.0f bytes/ad, %v",
+		unbatched.datagramsPerAd(), unbatched.bytesPerAd(), unbatched.elapsed)
+	if 2*batched.datagramsPerAd() > unbatched.datagramsPerAd() {
+		t.Errorf("batched wire layer spent %.2f datagrams per delivered ad, want ≤ half of the unbatched %.2f",
+			batched.datagramsPerAd(), unbatched.datagramsPerAd())
+	}
+	if batched.digestHits == 0 {
+		t.Error("no digest hits: anti-entropy never reached steady state")
+	}
+	if batched.maxDatagram > defaultBatchSoftCap {
+		t.Errorf("a %d-byte frame crossed the medium, above the %d soft cap",
+			batched.maxDatagram, defaultBatchSoftCap)
+	}
+	if batched.avgBatchAds < 2 {
+		t.Errorf("average batch carried %.2f ads: packing is trivial", batched.avgBatchAds)
+	}
+	// Pulls only fire when a digest beats gossip to a gap, which is timing-
+	// dependent here; the deterministic digest→pull exchange is pinned by
+	// TestDigestPullServesMissingAds instead.
+	t.Logf("pulled ads: %d", batched.pulledAds)
+}
+
+// BenchmarkMemnetSoak is the same scenario as TestMemnetSoak10x exposed to
+// scripts/bench.sh: each mode reports the medium's datagram and byte bill
+// per delivered ad plus the digest hit rate, which bench.sh rolls into the
+// ncpu-stamped BENCH_node.json.
+func BenchmarkMemnetSoak(b *testing.B) {
+	for _, mode := range []string{"batched", "unbatched"} {
+		b.Run(fmt.Sprintf("mode=%s", mode), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMemnetSoak(b, mode == "batched", 60*time.Second)
+				if !res.converged {
+					b.Fatalf("%s run never converged", mode)
+				}
+				b.ReportMetric(res.datagramsPerAd(), "datagrams/ad")
+				b.ReportMetric(res.bytesPerAd(), "bytes/ad")
+				b.ReportMetric(res.digestHitRate(), "hitrate")
+				b.ReportMetric(res.avgBatchAds, "ads/batch")
+			}
+		})
+	}
+}

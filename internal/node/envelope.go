@@ -18,19 +18,21 @@ import (
 
 	"instantad/internal/ads"
 	"instantad/internal/geo"
+	"instantad/internal/node/wire"
 )
 
 const (
-	envMagic   = 0xAE
+	envMagic   = wire.EnvelopeMagic
 	envVersion = 1
 	// envHeaderLen is magic+version+sender(4)+pos(16)+vel(16).
 	envHeaderLen = 2 + 4 + 32
 	// maxDatagram sizes the receive buffer.
 	maxDatagram = 64 * 1024
-	// maxPayload is the largest UDP payload (65535 minus the 8-byte UDP and
-	// 20-byte IPv4 headers). Frames beyond it cannot traverse a real socket,
-	// so encode refuses to build them and decode refuses to accept them.
-	maxPayload = 65507
+	// maxPayload is the largest UDP payload, defined once in
+	// internal/node/wire and shared with every transport, so the batch
+	// soft-cap logic can never drift from the hard limit the medium
+	// enforces.
+	maxPayload = wire.MaxPayload
 )
 
 // envelope is the datagram frame: sender identity and kinematics plus one

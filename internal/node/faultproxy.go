@@ -31,8 +31,9 @@ type FaultConfig struct {
 	// datagram (a random cut point, at least one byte).
 	Truncate float64
 	// Garbage is the probability of injecting a random junk datagram;
-	// roughly half the junk starts with the real envelope magic so it
-	// penetrates one decoder layer before failing.
+	// roughly half the junk starts with a real frame magic (envelope,
+	// batch, digest, or pull) so it penetrates one decoder layer before
+	// failing.
 	Garbage float64
 	// Seed makes the fault pattern reproducible.
 	Seed uint64
@@ -169,7 +170,8 @@ func (p *FaultProxy) relay(data []byte) {
 			junk[i] = byte(p.rnd.Uint32())
 		}
 		if p.rnd.Bool(0.5) && len(junk) >= 2 {
-			junk[0], junk[1] = envMagic, envVersion
+			magics := [...]byte{envMagic, batchMagic, digestMagic, pullMagic}
+			junk[0], junk[1] = magics[p.rnd.Intn(len(magics))], envVersion
 		}
 		p.stats.Garbage++
 		p.mu.Unlock()

@@ -27,14 +27,15 @@ import (
 	"instantad/internal/geo"
 	"instantad/internal/node/discovery"
 	"instantad/internal/node/transport"
+	"instantad/internal/node/wire"
 	"instantad/internal/rng"
 )
 
 const (
-	// maxPayload mirrors the UDP datagram payload bound the live node
-	// enforces: frames beyond it could not traverse a real socket, so the
-	// in-memory medium refuses them too.
-	maxPayload = 65507
+	// maxPayload is the UDP datagram payload bound, shared with the live
+	// node via internal/node/wire: frames beyond it could not traverse a
+	// real socket, so the in-memory medium refuses them too.
+	maxPayload = wire.MaxPayload
 	// defaultQueueLen is the per-endpoint receive buffer in datagrams.
 	defaultQueueLen = 4096
 	// addrPrefix namespaces switchboard addresses ("mem:3").
@@ -78,11 +79,13 @@ func (c Config) validate() error {
 
 // Stats counts what the medium did.
 type Stats struct {
-	Delivered     uint64 `json:"delivered"`
-	Lost          uint64 `json:"lost"`           // dropped by the loss model
-	OutOfRange    uint64 `json:"out_of_range"`   // dropped by the range partition
-	NoEndpoint    uint64 `json:"no_endpoint"`    // destination not (or no longer) listening
-	QueueOverflow uint64 `json:"queue_overflow"` // receiver buffer full
+	Delivered      uint64 `json:"delivered"`
+	DeliveredBytes uint64 `json:"delivered_bytes"` // payload bytes of delivered datagrams
+	MaxDatagram    uint64 `json:"max_datagram"`    // largest datagram delivered so far
+	Lost           uint64 `json:"lost"`            // dropped by the loss model
+	OutOfRange     uint64 `json:"out_of_range"`    // dropped by the range partition
+	NoEndpoint     uint64 `json:"no_endpoint"`     // destination not (or no longer) listening
+	QueueOverflow  uint64 `json:"queue_overflow"`  // receiver buffer full
 }
 
 // Switchboard is the shared in-memory medium.
@@ -232,11 +235,15 @@ func (c *Conn) WriteTo(b []byte, to string) (int, error) {
 	s := c.sb
 	s.mu.Lock()
 	// The medium learns geometry by listening to the traffic it carries:
-	// every beacon stamps its sender's endpoint with the claimed position.
+	// every beacon — and every self-describing ad-layer frame (envelope,
+	// batch, digest, pull) — stamps its sender's endpoint with the claimed
+	// position.
 	if len(b) > 0 && b[0] == discovery.BeaconMagic {
 		if bc, err := discovery.DecodeBeacon(b); err == nil {
 			s.pos[c.addr] = bc.Pos
 		}
+	} else if p, ok := wire.SenderPos(b); ok {
+		s.pos[c.addr] = p
 	}
 	if s.cfg.Loss > 0 && s.rnd.Bool(s.cfg.Loss) {
 		s.stats.Lost++
@@ -281,6 +288,10 @@ func (s *Switchboard) deliver(to string, dst *Conn, p packet) {
 	select {
 	case dst.ch <- p:
 		s.stats.Delivered++
+		s.stats.DeliveredBytes += uint64(len(p.data))
+		if uint64(len(p.data)) > s.stats.MaxDatagram {
+			s.stats.MaxDatagram = uint64(len(p.data))
+		}
 	default:
 		s.stats.QueueOverflow++
 	}

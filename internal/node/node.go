@@ -83,6 +83,32 @@ type Config struct {
 	// binding a wildcard address or behind a NAT.
 	AdvertiseAddr string
 
+	// BatchSoftCap is the target maximum size in bytes of an outgoing
+	// multi-ad batch frame. Zero means the MTU-aware default (1400 bytes —
+	// under a typical Ethernet path MTU, far below the 65507-byte hard
+	// limit); a negative value disables batching entirely and reverts to
+	// one legacy envelope per ad per peer. A single ad larger than the cap
+	// is still shipped (alone) — datagrams cannot be fragmented here — and
+	// counted in batch_oversize.
+	BatchSoftCap int
+	// DigestEvery, when positive, enables digest anti-entropy: every
+	// DigestEvery gossip rounds the node sends its live cached ad-ID list
+	// to its peers; receivers pull only the IDs they are missing, so
+	// converged neighborhoods trade 8-byte IDs instead of full payloads.
+	// Zero disables digests.
+	DigestEvery int
+	// BlockWindow is the BuddyCast-style serve block: after answering a
+	// peer's pull, that peer's further pulls are dropped and our digests
+	// skip it for this long, so one hungry neighbor cannot monopolize the
+	// serve path. Zero means 4 × RoundTime when digests are enabled.
+	BlockWindow time.Duration
+	// RoundBytes, when positive, is the per-round byte budget for gossip
+	// batches, digests and pull serves combined; sends beyond it are
+	// deferred to the next round (counted in budget_deferred), so a hot
+	// neighborhood degrades by slowing down instead of melting down. Zero
+	// means unlimited.
+	RoundBytes int
+
 	// PeerFailLimit is the number of consecutive send failures after which
 	// a peer enters timed backoff, so one dead address cannot burn a
 	// syscall every gossip round. Zero means the default (3).
@@ -142,6 +168,18 @@ func (c Config) validate() error {
 	if len(c.AdvertiseAddr) > discovery.MaxAddrLen {
 		return fmt.Errorf("node: advertise address longer than %d bytes", discovery.MaxAddrLen)
 	}
+	if c.BatchSoftCap > 0 && (c.BatchSoftCap < minBatchSoftCap || c.BatchSoftCap > maxPayload) {
+		return fmt.Errorf("node: batch soft cap %d outside [%d, %d]", c.BatchSoftCap, minBatchSoftCap, maxPayload)
+	}
+	if c.DigestEvery < 0 {
+		return fmt.Errorf("node: negative digest interval %d", c.DigestEvery)
+	}
+	if c.BlockWindow < 0 {
+		return fmt.Errorf("node: negative block window %v", c.BlockWindow)
+	}
+	if c.RoundBytes < 0 {
+		return fmt.Errorf("node: negative round byte budget %d", c.RoundBytes)
+	}
 	if c.PeerFailLimit < 0 {
 		return fmt.Errorf("node: negative peer fail limit %d", c.PeerFailLimit)
 	}
@@ -162,6 +200,9 @@ type peerState struct {
 	backoffUntil time.Time
 	nextBackoff  time.Duration
 	inBackoff    bool // tripped and not yet succeeded again (event edge)
+	detached     bool // removed from the peer set; in-flight sends must not
+	// mutate its health or trip backoff — the entry is dead, only snapshots
+	// taken before the removal still hold it.
 }
 
 // PeerHealth is a point-in-time snapshot of one peer's send health.
@@ -190,6 +231,12 @@ type Node struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 
+	// Wire-layer tuning, resolved from Config at construction.
+	batchCap    int           // soft cap in bytes; 0 = batching disabled
+	digestEvery int           // digest rounds; 0 = digests disabled
+	blockWindow time.Duration // per-peer serve block
+	roundBytes  int           // per-round byte budget; 0 = unlimited
+
 	// readBackoffMin/Max bound the delay applied after transient socket
 	// read errors (overridden by tests for speed).
 	readBackoffMin time.Duration
@@ -206,11 +253,21 @@ type Node struct {
 	nextSeq   uint32
 	epoch     time.Time // protocol time zero: ages are seconds since epoch
 
+	// Wire-layer round state, guarded by mu.
+	nextDigest  float64              // protocol time of the next digest send
+	budgetUsed  int                  // payload bytes spent this round window
+	budgetReset float64              // protocol time the budget window rolls
+	served      map[string]time.Time // addr → end of its serve block window
+
 	reg         *obs.Registry
 	events      *EventRecorder
 	sendLatency *obs.Histogram
 	recvLatency *obs.Histogram
 	backoffDur  *obs.Histogram
+	batchAds    *obs.Histogram // ads per sent batch frame
+	batchBytes  *obs.Histogram // bytes per sent batch frame
+	recvBatch   *obs.Histogram // ads per received batch frame
+	digestIDs   *obs.Histogram // IDs per sent digest
 
 	ctr       counters
 	done      chan struct{}
@@ -241,6 +298,17 @@ type counters struct {
 	beaconRelays     *obs.Counter
 	neighborsExpired *obs.Counter
 	epochSkew        *obs.Counter
+	batchesSent      *obs.Counter
+	batchesRecv      *obs.Counter
+	batchOversize    *obs.Counter
+	digestsSent      *obs.Counter
+	digestsRecv      *obs.Counter
+	digestHits       *obs.Counter
+	pullsSent        *obs.Counter
+	pullsRecv        *obs.Counter
+	pulledAds        *obs.Counter
+	blockedServes    *obs.Counter
+	budgetDeferred   *obs.Counter
 }
 
 // newCounters registers every node_* counter in reg.
@@ -262,6 +330,17 @@ func newCounters(reg *obs.Registry) counters {
 		beaconRelays:     reg.Counter("node_beacon_relays_total", "first-hand introductions passed along"),
 		neighborsExpired: reg.Counter("node_neighbors_expired_total", "neighbors aged out by the TTL sweep"),
 		epochSkew:        reg.Counter("node_epoch_skew_total", "beacons whose epoch hint disagreed with ours"),
+		batchesSent:      reg.Counter("node_batches_sent_total", "multi-ad batch frames transmitted (per peer destination)"),
+		batchesRecv:      reg.Counter("node_batches_recv_total", "multi-ad batch frames accepted"),
+		batchOversize:    reg.Counter("node_batch_oversize_total", "single ads larger than the batch soft cap, shipped alone"),
+		digestsSent:      reg.Counter("node_digests_sent_total", "cache-digest frames transmitted (per peer destination)"),
+		digestsRecv:      reg.Counter("node_digests_recv_total", "cache-digest frames accepted"),
+		digestHits:       reg.Counter("node_digest_hits_total", "digests already fully covered by our cache (no pull needed)"),
+		pullsSent:        reg.Counter("node_pulls_sent_total", "pull requests transmitted for missing ad IDs"),
+		pullsRecv:        reg.Counter("node_pulls_recv_total", "pull requests accepted and served"),
+		pulledAds:        reg.Counter("node_pulled_ads_total", "ads served in response to pull requests"),
+		blockedServes:    reg.Counter("node_blocked_serves_total", "pulls or digests skipped inside a peer's serve block window"),
+		budgetDeferred:   reg.Counter("node_budget_deferred_total", "sends deferred because the per-round byte budget ran out"),
 	}
 }
 
@@ -283,6 +362,17 @@ type Stats struct {
 	BeaconRelays     uint64 `json:"beacon_relays"`     // first-hand introductions passed along
 	NeighborsExpired uint64 `json:"neighbors_expired"` // neighbors aged out by the TTL sweep
 	EpochSkew        uint64 `json:"epoch_skew"`        // beacons whose epoch hint disagreed with ours
+	BatchesSent      uint64 `json:"batches_sent"`      // multi-ad batch frames transmitted (per peer destination)
+	BatchesRecv      uint64 `json:"batches_recv"`      // multi-ad batch frames accepted
+	BatchOversize    uint64 `json:"batch_oversize"`    // single ads larger than the soft cap, shipped alone
+	DigestsSent      uint64 `json:"digests_sent"`      // cache-digest frames transmitted (per peer destination)
+	DigestsRecv      uint64 `json:"digests_recv"`      // cache-digest frames accepted
+	DigestHits       uint64 `json:"digest_hits"`       // digests fully covered by our cache (no pull needed)
+	PullsSent        uint64 `json:"pulls_sent"`        // pull requests transmitted for missing ad IDs
+	PullsRecv        uint64 `json:"pulls_recv"`        // pull requests accepted and served
+	PulledAds        uint64 `json:"pulled_ads"`        // ads served in response to pull requests
+	BlockedServes    uint64 `json:"blocked_serves"`    // pulls/digests skipped inside a serve block window
+	BudgetDeferred   uint64 `json:"budget_deferred"`   // sends deferred by the per-round byte budget
 	SeenLive         uint64 `json:"seen_live"`         // gauge: current dedup-set size (O(live ads))
 	PeersLive        uint64 `json:"peers_live"`        // gauge: peers currently not in backoff
 	NeighborsLive    uint64 `json:"neighbors_live"`    // gauge: current neighbor-table size
@@ -335,6 +425,7 @@ func New(cfg Config) (*Node, error) {
 		readBackoffMax: defaultReadBackoffMax,
 		cache:          ads.NewCache(cfg.CacheK),
 		seen:           make(map[ads.ID]float64),
+		served:         make(map[string]time.Time),
 		peerIndex:      make(map[string]*peerState),
 		interests:      make(map[string]bool, len(cfg.Interests)),
 		rnd:            rng.New(cfg.Seed),
@@ -352,6 +443,26 @@ func New(cfg Config) (*Node, error) {
 	}
 	if n.backoffMax < n.backoffBase {
 		n.backoffMax = n.backoffBase
+	}
+	// Resolve the wire-layer tuning: zero soft cap means the MTU-aware
+	// default, negative disables batching (one legacy envelope per ad).
+	switch {
+	case cfg.BatchSoftCap < 0:
+		n.batchCap = 0
+	case cfg.BatchSoftCap == 0:
+		n.batchCap = defaultBatchSoftCap
+	default:
+		n.batchCap = cfg.BatchSoftCap
+	}
+	n.digestEvery = cfg.DigestEvery
+	n.blockWindow = cfg.BlockWindow
+	if n.blockWindow == 0 && n.digestEvery > 0 {
+		n.blockWindow = 4 * cfg.RoundTime
+	}
+	n.roundBytes = cfg.RoundBytes
+	if n.digestEvery > 0 {
+		// The first digest waits a full interval so cold caches settle.
+		n.nextDigest = float64(n.digestEvery) * cfg.RoundTime.Seconds()
 	}
 	for _, k := range cfg.Interests {
 		n.interests[k] = true
@@ -392,6 +503,18 @@ func New(cfg Config) (*Node, error) {
 	n.backoffDur = reg.Histogram("node_peer_backoff_seconds",
 		"duration of each peer backoff window entered",
 		obs.ExpBuckets(0.05, 2, 12))
+	n.batchAds = reg.Histogram("node_batch_ads",
+		"ads packed into each transmitted batch frame",
+		obs.ExpBuckets(1, 2, 10))
+	n.batchBytes = reg.Histogram("node_batch_bytes",
+		"payload bytes of each transmitted batch frame",
+		obs.ExpBuckets(64, 2, 11))
+	n.recvBatch = reg.Histogram("node_recv_batch_ads",
+		"ads carried by each accepted batch frame",
+		obs.ExpBuckets(1, 2, 10))
+	n.digestIDs = reg.Histogram("node_digest_ids",
+		"ad IDs carried by each transmitted digest frame",
+		obs.ExpBuckets(1, 2, 12))
 	reg.GaugeFunc("node_seen_live", "current dedup-set size",
 		func() float64 { return float64(n.SeenSize()) })
 	reg.GaugeFunc("node_peers_live", "peers currently not in backoff",
@@ -474,14 +597,18 @@ func (n *Node) RemovePeer(addr string) bool {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.peerIndex[key] == nil {
+	p := n.peerIndex[key]
+	if p == nil {
 		return false
 	}
+	// Mark the entry detached under the same lock that removes it: send
+	// paths holding a pre-removal snapshot must stop mutating its health.
+	p.detached = true
 	delete(n.peerIndex, key)
 	kept := n.peers[:0]
-	for _, p := range n.peers {
-		if p.key != key {
-			kept = append(kept, p)
+	for _, q := range n.peers {
+		if q.key != key {
+			kept = append(kept, q)
 		}
 	}
 	n.peers = kept
@@ -654,16 +781,17 @@ func (n *Node) markSeenLocked(ad *ads.Advertisement) {
 
 // pruneSeenLocked sweeps expired IDs out of the dedup set at most once per
 // gossip round, keeping it O(live ads) instead of O(all ads ever heard).
-// One round of grace keeps straggler duplicates of a just-expired ad cheap
-// (they are dropped by the expiry check either way). Callers hold n.mu.
+// An ID is swept the first sweep after its expiry — straggler duplicates of
+// a just-expired ad are dropped by the expiry check either way, so keeping
+// them a grace round (as an earlier revision did) only misreported them as
+// live. Callers hold n.mu.
 func (n *Node) pruneSeenLocked(now float64) {
 	if now < n.nextPrune {
 		return
 	}
-	round := n.cfg.RoundTime.Seconds()
-	n.nextPrune = now + round
+	n.nextPrune = now + n.cfg.RoundTime.Seconds()
 	for id, exp := range n.seen {
-		if exp+round < now {
+		if exp < now {
 			delete(n.seen, id)
 			n.ctr.seenPruned.Add(1)
 		}
@@ -671,12 +799,13 @@ func (n *Node) pruneSeenLocked(now float64) {
 }
 
 // Has reports whether the node has heard the given ad and the ad is still
-// live: expired IDs are eventually swept from the dedup set.
+// live on the protocol clock. The stored expiry is consulted directly: an
+// expired ad reports false even before the next sweep removes its ID.
 func (n *Node) Has(id ads.ID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	_, ok := n.seen[id]
-	return ok
+	exp, ok := n.seen[id]
+	return ok && n.now() <= exp
 }
 
 // SeenSize returns the current size of the dedup set (the SeenLive gauge).
@@ -716,6 +845,17 @@ func (n *Node) Stats() Stats {
 		BeaconRelays:     n.ctr.beaconRelays.Value(),
 		NeighborsExpired: n.ctr.neighborsExpired.Value(),
 		EpochSkew:        n.ctr.epochSkew.Value(),
+		BatchesSent:      n.ctr.batchesSent.Value(),
+		BatchesRecv:      n.ctr.batchesRecv.Value(),
+		BatchOversize:    n.ctr.batchOversize.Value(),
+		DigestsSent:      n.ctr.digestsSent.Value(),
+		DigestsRecv:      n.ctr.digestsRecv.Value(),
+		DigestHits:       n.ctr.digestHits.Value(),
+		PullsSent:        n.ctr.pullsSent.Value(),
+		PullsRecv:        n.ctr.pullsRecv.Value(),
+		PulledAds:        n.ctr.pulledAds.Value(),
+		BlockedServes:    n.ctr.blockedServes.Value(),
+		BudgetDeferred:   n.ctr.budgetDeferred.Value(),
 	}
 	if n.table != nil {
 		s.NeighborsLive = uint64(n.table.Len())
@@ -786,22 +926,36 @@ func (n *Node) readLoop() {
 		}
 		backoff = 0
 		data := buf[:nb]
-		if nb > 0 && data[0] == discovery.BeaconMagic {
-			n.handleBeacon(data, from)
-			continue
-		}
-		env, err := decodeEnvelope(data)
-		if err != nil {
+		if nb == 0 {
 			n.ctr.malformed.Add(1)
 			continue
 		}
-		start := time.Now()
-		n.handle(env)
-		n.recvLatency.Observe(time.Since(start).Seconds())
+		switch data[0] {
+		case discovery.BeaconMagic:
+			n.handleBeacon(data, from)
+		case batchMagic:
+			start := time.Now()
+			n.handleBatch(data)
+			n.recvLatency.Observe(time.Since(start).Seconds())
+		case digestMagic:
+			n.handleDigest(data, from)
+		case pullMagic:
+			n.handlePull(data, from)
+		default:
+			env, err := decodeEnvelope(data)
+			if err != nil {
+				n.ctr.malformed.Add(1)
+				continue
+			}
+			start := time.Now()
+			n.handle(env)
+			n.recvLatency.Observe(time.Since(start).Seconds())
+		}
 	}
 }
 
-// handle applies the virtual radio and the paper's receive algorithm.
+// handle applies the virtual radio and the paper's receive algorithm to one
+// legacy single-ad envelope.
 func (n *Node) handle(env *envelope) {
 	pos, vel := n.cfg.Position(time.Now())
 	if n.cfg.Range > 0 && pos.Dist(env.Pos) > n.cfg.Range {
@@ -810,40 +964,216 @@ func (n *Node) handle(env *envelope) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.integrateAdLocked(env.Pos, pos, vel, env.Ad)
+}
+
+// handleBatch decodes a multi-ad batch frame, applies the virtual radio once
+// for the whole frame (all ads share the sender's position), and integrates
+// every carried ad under one lock acquisition.
+func (n *Node) handleBatch(data []byte) {
+	f, err := decodeBatch(data)
+	if err != nil {
+		n.ctr.malformed.Add(1)
+		return
+	}
+	pos, vel := n.cfg.Position(time.Now())
+	if n.cfg.Range > 0 && pos.Dist(f.Pos) > n.cfg.Range {
+		n.ctr.outOfRange.Add(1)
+		return
+	}
+	n.ctr.batchesRecv.Add(1)
+	n.recvBatch.Observe(float64(len(f.Ads)))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ad := range f.Ads {
+		n.integrateAdLocked(f.Pos, pos, vel, ad)
+	}
+}
+
+// integrateAdLocked is the paper's receive algorithm for one ad heard from a
+// sender at srcPos: expiry check, dedup-set mark, duplicate merge (R/D/
+// sketch, Opt2 postponement), or cache admission. Callers hold n.mu and have
+// already applied the virtual radio.
+func (n *Node) integrateAdLocked(srcPos geo.Point, pos geo.Point, vel geo.Vec, ad *ads.Advertisement) {
 	now := n.now()
-	if env.Ad.Expired(now) {
+	if ad.Expired(now) {
 		n.ctr.expired.Add(1)
 		return
 	}
 	n.ctr.received.Add(1)
-	n.markSeenLocked(env.Ad)
-	if e := n.cache.Get(env.Ad.ID); e != nil {
+	n.markSeenLocked(ad)
+	if e := n.cache.Get(ad.ID); e != nil {
 		n.ctr.duplicates.Add(1)
-		if env.Ad.R > e.Ad.R {
-			e.Ad.R = env.Ad.R
+		if ad.R > e.Ad.R {
+			e.Ad.R = ad.R
 		}
-		if env.Ad.D > e.Ad.D {
-			e.Ad.D = env.Ad.D
+		if ad.D > e.Ad.D {
+			e.Ad.D = ad.D
 			n.markSeenLocked(e.Ad)
 		}
-		if e.Ad.Sketch != nil && env.Ad.Sketch != nil {
-			_ = e.Ad.Sketch.Merge(env.Ad.Sketch)
+		if e.Ad.Sketch != nil && ad.Sketch != nil {
+			_ = e.Ad.Sketch.Merge(ad.Sketch)
 		}
 		if n.cfg.Opt2 {
 			// Formula 4 with the real overlap and approach angle.
-			p := geo.OverlapFraction(n.cfg.Range, pos.Dist(env.Pos))
-			theta := geo.AngleBetween(vel, env.Pos.Sub(pos))
+			p := geo.OverlapFraction(n.cfg.Range, pos.Dist(srcPos))
+			theta := geo.AngleBetween(vel, srcPos.Sub(pos))
 			e.ScheduledAt += core.PostponeInterval(n.cfg.RoundTime.Seconds(), p, theta)
 		}
 		return
 	}
-	own := env.Ad.Clone()
+	own := ad.Clone()
 	n.applyPopularityLocked(own)
 	e, overflow := n.cache.Insert(own, n.forwardProbLocked(own, pos))
 	e.ScheduledAt = now + n.cfg.RoundTime.Seconds()
 	if overflow {
 		n.evictLocked()
 	}
+}
+
+// handleDigest answers a neighbor's cache digest: any advertised ID we have
+// not heard (or whose copy we heard has expired) goes into a pull request
+// back to the sender. A digest we fully cover is a digest hit — the
+// anti-entropy steady state where neighbors trade 8-byte IDs instead of
+// payloads.
+func (n *Node) handleDigest(data []byte, from string) {
+	f, err := decodeIDFrame(data, digestMagic)
+	if err != nil {
+		n.ctr.malformed.Add(1)
+		return
+	}
+	pos, _ := n.cfg.Position(time.Now())
+	if n.cfg.Range > 0 && pos.Dist(f.Pos) > n.cfg.Range {
+		n.ctr.outOfRange.Add(1)
+		return
+	}
+	n.ctr.digestsRecv.Add(1)
+	n.mu.Lock()
+	now := n.now()
+	var missing []ads.ID
+	for _, id := range f.IDs {
+		if exp, ok := n.seen[id]; ok && now <= exp {
+			continue
+		}
+		missing = append(missing, id)
+		if len(missing) == maxIDsPerFrame {
+			break
+		}
+	}
+	n.mu.Unlock()
+	if len(missing) == 0 {
+		n.ctr.digestHits.Add(1)
+		return
+	}
+	pf := idFrame{Sender: n.cfg.ID, Pos: pos, IDs: missing}
+	out, err := pf.encode(pullMagic)
+	if err != nil {
+		n.logf("pull encode: %v", err)
+		return
+	}
+	if !n.takeBudget(len(out)) {
+		n.ctr.budgetDeferred.Add(1)
+		return
+	}
+	if n.sendToAddr(out, from) {
+		n.ctr.pullsSent.Add(1)
+	}
+}
+
+// handlePull serves a neighbor's pull request with the requested ads from
+// our cache, packed into batch frames, then blocks that neighbor for the
+// serve window (BuddyCast-style) so one hungry peer cannot monopolize us.
+func (n *Node) handlePull(data []byte, from string) {
+	f, err := decodeIDFrame(data, pullMagic)
+	if err != nil {
+		n.ctr.malformed.Add(1)
+		return
+	}
+	pos, vel := n.cfg.Position(time.Now())
+	if n.cfg.Range > 0 && pos.Dist(f.Pos) > n.cfg.Range {
+		n.ctr.outOfRange.Add(1)
+		return
+	}
+	now := time.Now()
+	if n.servedBlocked(from, now) {
+		n.ctr.blockedServes.Add(1)
+		return
+	}
+	n.mu.Lock()
+	var serve []*ads.Advertisement
+	for _, id := range f.IDs {
+		if e := n.cache.Get(id); e != nil {
+			serve = append(serve, e.Ad.Clone())
+		}
+	}
+	if len(serve) > 0 && n.blockWindow > 0 {
+		n.served[from] = now.Add(n.blockWindow)
+	}
+	n.mu.Unlock()
+	n.ctr.pullsRecv.Add(1)
+	if len(serve) == 0 {
+		return
+	}
+	softCap := n.batchCap
+	if softCap == 0 {
+		// Pull serves are always batched, even when round gossip is not.
+		softCap = defaultBatchSoftCap
+	}
+	frames, oversize := packBatches(n.cfg.ID, pos, vel, serve, softCap)
+	if oversize > 0 {
+		n.ctr.batchOversize.Add(uint64(oversize))
+	}
+	for _, fr := range frames {
+		if !n.takeBudget(len(fr.data)) {
+			n.ctr.budgetDeferred.Add(1)
+			continue
+		}
+		if n.sendToAddr(fr.data, from) {
+			n.ctr.sent.Add(1)
+			n.ctr.batchesSent.Add(1)
+			n.ctr.pulledAds.Add(uint64(fr.ads))
+			n.batchAds.Observe(float64(fr.ads))
+			n.batchBytes.Observe(float64(len(fr.data)))
+		}
+	}
+}
+
+// servedBlocked reports whether addr sits inside its serve block window.
+func (n *Node) servedBlocked(addr string, now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until, ok := n.served[addr]
+	return ok && until.After(now)
+}
+
+// pruneServedLocked drops expired serve blocks, keeping the map bounded by
+// the recently-served peer set. Callers hold n.mu.
+func (n *Node) pruneServedLocked(now time.Time) {
+	for addr, until := range n.served {
+		if !until.After(now) {
+			delete(n.served, addr)
+		}
+	}
+}
+
+// takeBudget claims nb bytes of the per-round send budget, rolling the
+// window on the protocol clock. Unlimited (roundBytes == 0) always grants.
+func (n *Node) takeBudget(nb int) bool {
+	if n.roundBytes <= 0 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.now()
+	if now >= n.budgetReset {
+		n.budgetUsed = 0
+		n.budgetReset = now + n.cfg.RoundTime.Seconds()
+	}
+	if n.budgetUsed+nb > n.roundBytes {
+		return false
+	}
+	n.budgetUsed += nb
+	return true
 }
 
 // handleBeacon integrates one HELLO datagram: virtual radio first, then the
@@ -896,7 +1226,8 @@ func (n *Node) handleBeacon(data []byte, from string) {
 	case discovery.AddrChanged:
 		n.event("neighbor_addr_changed", key, b.ID, prevAddr)
 		n.mu.Lock()
-		if n.peerIndex[prevAddr] != nil {
+		if old := n.peerIndex[prevAddr]; old != nil {
+			old.detached = true
 			delete(n.peerIndex, prevAddr)
 			kept := n.peers[:0]
 			for _, p := range n.peers {
@@ -1090,10 +1421,12 @@ func (n *Node) fireDue() {
 	}
 	pos, _ := n.cfg.Position(time.Now())
 	var toSend []*ads.Advertisement
+	var digest []ads.ID
 	n.mu.Lock()
 	now := n.now()
 	n.cache.RemoveExpired(now) // expired ads just vanish
 	n.pruneSeenLocked(now)
+	n.pruneServedLocked(time.Now())
 	for _, e := range n.cache.Entries() {
 		if e.ScheduledAt > now {
 			continue
@@ -1104,15 +1437,119 @@ func (n *Node) fireDue() {
 		}
 		e.ScheduledAt = now + n.cfg.RoundTime.Seconds()
 	}
+	if n.digestEvery > 0 && now >= n.nextDigest && n.cache.Len() > 0 {
+		n.nextDigest = now + float64(n.digestEvery)*n.cfg.RoundTime.Seconds()
+		// A digest frame honors the batch soft cap too: when the cache holds
+		// more IDs than fit, advertise a window starting at a random offset,
+		// so successive digests cover the whole cache eventually.
+		limit := maxIDsPerFrame
+		if n.batchCap > 0 {
+			if fit := (n.batchCap - idHeaderLen - 2) / 8; fit > 0 && fit < limit {
+				limit = fit
+			}
+		}
+		entries := n.cache.Entries()
+		off := 0
+		if len(entries) > limit {
+			off = n.rnd.Intn(len(entries))
+		}
+		for i := 0; i < len(entries) && len(digest) < limit; i++ {
+			digest = append(digest, entries[(off+i)%len(entries)].Ad.ID)
+		}
+	}
 	n.mu.Unlock()
-	for _, ad := range toSend {
-		n.broadcast(ad)
+	if n.batchCap > 0 {
+		n.gossipOut(toSend)
+	} else {
+		for _, ad := range toSend {
+			n.broadcast(ad)
+		}
+	}
+	if len(digest) > 0 {
+		n.sendDigest(digest)
 	}
 }
 
-// broadcast sends one ad to every peer destination that is not in backoff.
-// The ad must be private to the caller (a clone), never a pointer still
-// reachable from the cache: encoding happens outside n.mu.
+// liveTargets snapshots the peers currently outside backoff windows.
+func (n *Node) liveTargets() []*peerState {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	targets := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.backoffUntil.After(now) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	return targets
+}
+
+// gossipOut ships one round's firing ads as batch frames to every live
+// peer: all due ads coalesce into as few datagrams as the soft cap allows,
+// instead of one envelope per ad per peer. The ads must be private to the
+// caller (clones): encoding happens outside n.mu.
+func (n *Node) gossipOut(list []*ads.Advertisement) {
+	if len(list) == 0 {
+		return
+	}
+	pos, vel := n.cfg.Position(time.Now())
+	frames, oversize := packBatches(n.cfg.ID, pos, vel, list, n.batchCap)
+	if oversize > 0 {
+		n.ctr.batchOversize.Add(uint64(oversize))
+	}
+	// One gossip decision fired per ad, batched or not — the broadcasts
+	// counter keeps its meaning across wire formats.
+	n.ctr.broadcasts.Add(uint64(len(list)))
+	targets := n.liveTargets()
+	for _, f := range frames {
+		for _, p := range targets {
+			if !n.takeBudget(len(f.data)) {
+				n.ctr.budgetDeferred.Add(1)
+				continue
+			}
+			if n.sendTo(f.data, p) {
+				n.ctr.sent.Add(1)
+				n.ctr.batchesSent.Add(1)
+				n.batchAds.Observe(float64(f.ads))
+				n.batchBytes.Observe(float64(len(f.data)))
+			}
+		}
+	}
+}
+
+// sendDigest announces our live cached ad IDs to every live peer outside
+// its serve block window.
+func (n *Node) sendDigest(ids []ads.ID) {
+	pos, _ := n.cfg.Position(time.Now())
+	f := idFrame{Sender: n.cfg.ID, Pos: pos, IDs: ids}
+	data, err := f.encode(digestMagic)
+	if err != nil {
+		n.logf("digest encode: %v", err)
+		return
+	}
+	now := time.Now()
+	for _, p := range n.liveTargets() {
+		if n.servedBlocked(p.key, now) {
+			n.ctr.blockedServes.Add(1)
+			continue
+		}
+		if !n.takeBudget(len(data)) {
+			n.ctr.budgetDeferred.Add(1)
+			continue
+		}
+		if n.sendTo(data, p) {
+			n.ctr.digestsSent.Add(1)
+			n.digestIDs.Observe(float64(len(ids)))
+		}
+	}
+}
+
+// broadcast sends one ad to every peer destination that is not in backoff —
+// the legacy one-envelope-per-ad wire format, kept for Issue's immediate
+// announcement and for configurations with batching disabled. The ad must be
+// private to the caller (a clone), never a pointer still reachable from the
+// cache: encoding happens outside n.mu.
 func (n *Node) broadcast(ad *ads.Advertisement) {
 	pos, vel := n.cfg.Position(time.Now())
 	env := envelope{Sender: n.cfg.ID, Pos: pos, Vel: vel, Ad: ad}
@@ -1121,22 +1558,31 @@ func (n *Node) broadcast(ad *ads.Advertisement) {
 		n.logf("encode: %v", err)
 		return
 	}
-	now := time.Now()
-	n.mu.Lock()
-	targets := make([]*peerState, 0, len(n.peers))
-	for _, p := range n.peers {
-		if p.backoffUntil.After(now) {
-			continue
-		}
-		targets = append(targets, p)
-	}
-	n.mu.Unlock()
 	n.ctr.broadcasts.Add(1)
-	for _, p := range targets {
+	for _, p := range n.liveTargets() {
 		if n.sendTo(data, p) {
 			n.ctr.sent.Add(1)
 		}
 	}
+}
+
+// sendToAddr transmits one frame to a destination that may or may not be a
+// tracked peer: known peers go through sendTo so their health sees the
+// attempt; strangers (a puller heard before discovery added it) get a raw
+// write.
+func (n *Node) sendToAddr(data []byte, addr string) bool {
+	n.mu.Lock()
+	p := n.peerIndex[addr]
+	n.mu.Unlock()
+	if p != nil {
+		return n.sendTo(data, p)
+	}
+	if _, err := n.conn.WriteTo(data, addr); err != nil {
+		n.ctr.sendErrors.Add(1)
+		n.logf("send to %v: %v", addr, err)
+		return false
+	}
+	return true
 }
 
 // sendTo transmits one frame to a peer and updates its send health,
@@ -1144,6 +1590,14 @@ func (n *Node) broadcast(ad *ads.Advertisement) {
 // what a success counts as (ad sent, beacon sent, relay) is the caller's
 // business.
 func (n *Node) sendTo(data []byte, p *peerState) bool {
+	n.mu.Lock()
+	detached := p.detached
+	n.mu.Unlock()
+	if detached {
+		// The peer was removed after this snapshot was taken; its entry is
+		// dead and must not accumulate health or trip backoff.
+		return false
+	}
 	start := time.Now()
 	_, err := n.conn.WriteTo(data, p.key)
 	n.sendLatency.Observe(time.Since(start).Seconds())
@@ -1160,6 +1614,12 @@ func (n *Node) sendTo(data []byte, p *peerState) bool {
 // timed exponential backoff once the consecutive-failure limit is reached.
 func (n *Node) peerSendFailed(p *peerState, err error) {
 	n.mu.Lock()
+	if p.detached {
+		// Removed mid-send: the failure already hit the global counter, but
+		// a dead entry's health and backoff stay frozen.
+		n.mu.Unlock()
+		return
+	}
 	p.failures++
 	p.consecFails++
 	tripped := p.consecFails >= n.failLimit
@@ -1192,6 +1652,10 @@ func (n *Node) peerSendFailed(p *peerState, err error) {
 // success after a backoff window is the recovery edge, worth an event.
 func (n *Node) peerSendOK(p *peerState) {
 	n.mu.Lock()
+	if p.detached {
+		n.mu.Unlock()
+		return
+	}
 	p.sent++
 	p.consecFails = 0
 	p.nextBackoff = 0

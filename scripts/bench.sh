@@ -3,7 +3,9 @@
 # N=1000 sweep and write the results to BENCH_hotpath.json at the repo root,
 # then the sequential-vs-parallel executor comparison to BENCH_parallel.json,
 # then the shards × workers matrix at N=10^4 (plus the N=10^5 completion run)
-# to BENCH_shard.json.
+# to BENCH_shard.json, then the live-node wire-layer soak (batched vs
+# unbatched datagram/byte bill per delivered ad, digest hit rate, mean ads
+# per batch) to BENCH_node.json.
 #
 # Usage:
 #   scripts/bench.sh            # default: -benchtime 2s micro, 3x end-to-end
@@ -25,10 +27,12 @@ BENCHTIME="${BENCHTIME:-2s}"
 OUT="BENCH_hotpath.json"
 PAROUT="BENCH_parallel.json"
 SHARDOUT="BENCH_shard.json"
+NODEOUT="BENCH_node.json"
 TMP="$(mktemp)"
 PARTMP="$(mktemp)"
 SHARDTMP="$(mktemp)"
-trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP"' EXIT
+NODETMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP" "$NODETMP"' EXIT
 
 echo "==> micro: internal/radio + internal/sim (-benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkBroadcastDense$|BenchmarkBroadcastDenseCollisions$|BenchmarkNodesWithin' \
@@ -119,3 +123,42 @@ END {
 ' "$SHARDTMP" > "$SHARDOUT"
 
 echo "==> wrote $SHARDOUT" >&2
+
+echo "==> live-node wire layer: BenchmarkMemnetSoak batched vs unbatched (-benchtime 1x)" >&2
+go test -run '^$' -bench 'BenchmarkMemnetSoak' -benchtime 1x ./internal/node/ | tee "$NODETMP" >&2
+
+awk -v ncpu="$NCPU" '
+BEGIN { print "{" ; print "  \"ncpu\": " ncpu "," ; print "  \"runs\": [" ; n = 0 }
+/^BenchmarkMemnetSoak/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; dpa = ""; bpa = ""; hit = ""; apb = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")        ns  = $i
+        if ($(i+1) == "datagrams/ad") dpa = $i
+        if ($(i+1) == "bytes/ad")     bpa = $i
+        if ($(i+1) == "hitrate")      hit = $i
+        if ($(i+1) == "ads/batch")    apb = $i
+    }
+    if (ns == "") next
+    if (name ~ /mode=unbatched$/) ubase = dpa
+    if (n++) print ","
+    line = "    {\"name\": \"" name "\", \"ns_per_op\": " ns
+    if (dpa != "") line = line ", \"datagrams_per_ad\": " dpa
+    if (bpa != "") line = line ", \"bytes_per_ad\": " bpa
+    if (hit != "") line = line ", \"digest_hit_rate\": " hit
+    if (apb != "") line = line ", \"ads_per_batch\": " apb
+    if (name ~ /mode=batched$/ && dpa != "") bdpa = dpa
+    printf "%s}", line
+}
+END {
+    print "\n  ],"
+    if (bdpa != "" && ubase != "" && bdpa + 0 > 0)
+        printf "  \"datagram_reduction\": %.3f\n", ubase / bdpa
+    else
+        print "  \"datagram_reduction\": null"
+    print "}"
+}
+' "$NODETMP" > "$NODEOUT"
+
+echo "==> wrote $NODEOUT" >&2
