@@ -32,7 +32,11 @@ func main() {
 		fieldW     = flag.Float64("field", 1500, "square field side, meters")
 		speed      = flag.Float64("speed", 10, "mean motion speed, m/s")
 		speedDelta = flag.Float64("speed-delta", 5, "speed spread (uniform mean±delta)")
-		mobility   = flag.String("mobility", instantad.RandomWaypoint.String(), "mobility model: random-waypoint | random-walk | manhattan | rpgm")
+		mobility   = flag.String("mobility", instantad.RandomWaypoint.String(), "mobility model: random-waypoint | random-walk | manhattan | rpgm | road")
+		roadFile   = flag.String("road", "", "road graph file; implies -mobility road (with -mobility road and no file, a synthetic grid is generated)")
+		numRSU     = flag.Int("rsu", 0, "roadside units wired together at intersections (road mobility only)")
+		rsuRange   = flag.Float64("rsu-range", 0, "RSU transmission range, meters (0 = same as -range)")
+		rsuPlace   = flag.String("rsu-place", "", "RSU placement: spread | random | degree (default spread)")
 		evict      = flag.String("evict", instantad.EvictLowestProb.String(), "cache eviction policy: lowest-prob | oldest-first | random")
 		txRange    = flag.Float64("range", 125, "transmission range, meters")
 		radius     = flag.Float64("R", 500, "initial advertising radius, meters")
@@ -108,6 +112,15 @@ func main() {
 		}
 		sc.Eviction = pol
 	})
+	override("road", func() {
+		sc.RoadFile = *roadFile
+		if !set["mobility"] {
+			sc.Mobility = instantad.Road
+		}
+	})
+	override("rsu", func() { sc.NumRSU = *numRSU })
+	override("rsu-range", func() { sc.RSURange = *rsuRange })
+	override("rsu-place", func() { sc.RSUPlacement = *rsuPlace })
 	override("range", func() { sc.TxRange = *txRange })
 	override("R", func() { sc.R = *radius })
 	override("D", func() { sc.D = *duration })
@@ -174,6 +187,10 @@ func main() {
 			res.DeliveryRate, res.Report.Delivered, res.Report.PassedThrough)
 		fmt.Printf("delivery time:  %.2f s (mean over delivered entrants)\n", res.DeliveryTime)
 		fmt.Printf("messages:       %.0f (%.1f KiB on air)\n", res.Messages, res.Bytes/1024)
+		if sc.Mobility == instantad.Road {
+			fmt.Printf("road coverage:  %.1f%% of in-area road length (peak; %d RSUs)\n",
+				100*res.Coverage, sc.NumRSU)
+		}
 		if sc.MeasureEnergy {
 			fmt.Printf("radio energy:   %.2f J network-wide\n", res.EnergyJ)
 		}
@@ -208,6 +225,7 @@ type resultJSON struct {
 	Messages      float64 `json:"messages"`
 	Bytes         float64 `json:"bytes"`
 	EnergyJ       float64 `json:"energy_j,omitempty"`
+	RoadCoverage  float64 `json:"road_coverage_pct,omitempty"`
 	LoadGini      float64 `json:"load_gini"`
 	PassedThrough int     `json:"passed_through"`
 	Delivered     int     `json:"delivered"`
@@ -224,6 +242,7 @@ func toJSON(res instantad.Result) resultJSON {
 		Messages:      res.Messages,
 		Bytes:         res.Bytes,
 		EnergyJ:       res.EnergyJ,
+		RoadCoverage:  100 * res.Coverage,
 		LoadGini:      res.LoadGini,
 		PassedThrough: res.Report.PassedThrough,
 		Delivered:     res.Report.Delivered,

@@ -7,7 +7,9 @@
 //	figures -fig fig7       # one figure (fig2 fig3 fig5 fig7 fig8 fig9
 //	                        #   fig10a fig10b fig10c beta fm contention
 //	                        #   popularity spread capacity comparator
-//	                        #   sensitivity)
+//	                        #   rsu sensitivity)
+//	figures -fig rsu -rsu 0,4,8,16            # coverage vs roadside units
+//	figures -fig rsu -road city.txt           # ... on an imported road graph
 //	figures -quick          # scaled-down sweeps for a fast sanity pass
 //	figures -reps 5         # more seeds per point
 //	figures -fig fig7 -cpuprofile cpu.pprof   # profile a sweep
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"instantad"
@@ -34,6 +37,8 @@ func main() {
 		chart      = flag.Bool("chart", false, "render ASCII charts alongside the tables")
 		csvDir     = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
 		seed       = flag.Uint64("seed", 1, "base random seed")
+		roadFile   = flag.String("road", "", "road graph file for the rsu figure (empty = synthetic grid)")
+		rsuCounts  = flag.String("rsu", "", "comma-separated RSU counts for the rsu figure (default 0,2,4,8)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
 		shards     = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -192,6 +197,19 @@ func main() {
 		f, err := instantad.FigCapacity(sc, base, []float64{1, 2, 4, 8, 12})
 		show(f, err)
 	}
+	if want("rsu") {
+		counts, err := parseCounts(*rsuCounts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: -rsu:", err)
+			os.Exit(2)
+		}
+		// The road file only applies to the road sweep — Validate rejects it
+		// on the open-field figures — so mutate a local copy of the options.
+		ropts := opts
+		ropts.Base.RoadFile = *roadFile
+		f, err := instantad.FigRSUCoverage(ropts, counts)
+		show(f, err)
+	}
 	if want("comparator") {
 		f, err := instantad.FigComparator(opts)
 		show(f, err)
@@ -204,4 +222,21 @@ func main() {
 		}
 		fmt.Println(rep.Render())
 	}
+}
+
+// parseCounts parses the -rsu list ("0,2,4,8"); empty means the figure's
+// default sweep.
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad RSU count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

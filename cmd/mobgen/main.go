@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mobgen -n 300 -model random-waypoint -horizon 2000 -out move.ns2
+//	mobgen -n 200 -model road -road city.txt -out urban.ns2
+//	mobgen -emit-road grid.txt              # write the synthetic grid road file
 //	mobgen -info move.ns2
 package main
 
@@ -17,27 +19,54 @@ import (
 	"instantad/internal/geo"
 	"instantad/internal/mobility"
 	"instantad/internal/rng"
+	"instantad/internal/roadnet"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 300, "number of nodes")
-		model   = flag.String("model", "random-waypoint", "random-waypoint | random-walk | manhattan")
-		fieldW  = flag.Float64("field", 1500, "square field side, meters")
-		speed   = flag.Float64("speed", 10, "mean speed, m/s")
-		delta   = flag.Float64("speed-delta", 5, "speed spread")
-		pause   = flag.Float64("pause", 10, "waypoint pause, s")
-		block   = flag.Float64("block", 150, "manhattan block size, m")
-		horizon = flag.Float64("horizon", 2000, "trajectory length, s")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("out", "-", "output file ('-' for stdout)")
-		info    = flag.String("info", "", "inspect an existing movement script instead")
+		n        = flag.Int("n", 300, "number of nodes")
+		model    = flag.String("model", "random-waypoint", "random-waypoint | random-walk | manhattan | road")
+		fieldW   = flag.Float64("field", 1500, "square field side, meters")
+		speed    = flag.Float64("speed", 10, "mean speed, m/s")
+		delta    = flag.Float64("speed-delta", 5, "speed spread")
+		pause    = flag.Float64("pause", 10, "waypoint pause, s")
+		block    = flag.Float64("block", 150, "manhattan block size, m")
+		horizon  = flag.Float64("horizon", 2000, "trajectory length, s")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "-", "output file ('-' for stdout)")
+		info     = flag.String("info", "", "inspect an existing movement script instead")
+		roadFile = flag.String("road", "", "road graph file for -model road (empty = synthetic grid over the field)")
+		emitRoad = flag.String("emit-road", "", "write the synthetic grid road graph to this file and exit")
 	)
 	flag.Parse()
 
 	if *info != "" {
 		inspect(*info)
 		return
+	}
+	if *emitRoad != "" {
+		g, err := roadnet.Grid(int(*fieldW / *block)+1, int(*fieldW / *block)+1, *block)
+		fatalIf(err)
+		f, err := os.Create(*emitRoad)
+		fatalIf(err)
+		if err := g.Write(f); err == nil {
+			err = f.Close()
+		}
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "wrote %s: %d intersections, %d road segments, %.0f m total\n",
+			*emitRoad, g.N(), g.M(), g.TotalLength())
+		return
+	}
+
+	var graph *roadnet.Graph
+	if *model == "road" {
+		var err error
+		if *roadFile != "" {
+			graph, err = roadnet.Load(*roadFile)
+		} else {
+			graph, err = roadnet.Grid(int(*fieldW / *block)+1, int(*fieldW / *block)+1, *block)
+		}
+		fatalIf(err)
 	}
 
 	field := geo.NewRect(*fieldW, *fieldW)
@@ -64,6 +93,11 @@ func main() {
 			m, err = mobility.NewManhattan(mobility.ManhattanConfig{
 				Field: field, BlockSize: *block,
 				SpeedMean: *speed, SpeedDelta: *delta, Horizon: *horizon,
+			}, s)
+		case "road":
+			m, err = mobility.NewRoad(mobility.RoadConfig{
+				Graph: graph, SpeedMean: *speed, SpeedDelta: *delta,
+				Pause: *pause, Horizon: *horizon,
 			}, s)
 		default:
 			err = fmt.Errorf("unknown model %q", *model)

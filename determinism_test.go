@@ -48,6 +48,7 @@ func runFingerprint(t *testing.T, sc experiment.Scenario) fingerprint {
 			LoadGini:     sm.Metrics.LoadGini(),
 			Duplicates:   sm.Metrics.Duplicates(),
 			Evictions:    sm.Metrics.Evictions(),
+			Coverage:     rep.RoadCoverage,
 		},
 		Stats: sm.Net.Channel().Stats(),
 	}

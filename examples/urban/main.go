@@ -1,0 +1,53 @@
+// Urban: the vehicular scenario family — cars constrained to a road grid,
+// with and without roadside units. A sparse fleet follows shortest paths
+// through a synthetic Manhattan-style road network while a petrol station
+// advertises; the run is repeated with six wired roadside units placed at
+// spread-out intersections. The comparison shows what fixed infrastructure
+// buys: road coverage (the fraction of in-area road length within radio
+// range of an informed peer), delivery rate and message cost.
+//
+//	go run ./examples/urban
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"instantad"
+)
+
+func main() {
+	sc := instantad.DefaultScenario()
+	sc.Mobility = instantad.Road // empty RoadFile: synthetic grid over the field
+	sc.Protocol = instantad.GossipOpt
+	sc.NumPeers = 60 // sparse: the ad-hoc mesh alone cannot light every street
+	sc.SpeedMean = 12
+	sc.SpeedDelta = 4
+	sc.TxRange = 100
+	sc.SimTime = 600
+	sc.D = 240
+
+	fmt.Println("An urban petrol-station campaign (60 vehicles on a road grid,")
+	fmt.Println("Optimized Gossiping), without and with roadside units.")
+	fmt.Println()
+	fmt.Printf("%-10s %14s %14s %10s %10s\n",
+		"scenario", "road coverage", "delivery rate", "messages", "rsu syncs")
+	for _, rsus := range []int{0, 6} {
+		run := sc
+		run.NumRSU = rsus
+		run.RSURange = 150 // elevated antennas out-range the in-car radios
+		res, err := run.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		syncs := res.Snapshot.Counters["sim_rsu_syncs_total"]
+		fmt.Printf("%-10s %13.1f%% %13.1f%% %10.0f %10d\n",
+			fmt.Sprintf("%d RSUs", rsus), 100*res.Coverage, res.DeliveryRate,
+			res.Messages, syncs)
+	}
+	fmt.Println()
+	fmt.Println("Roadside units relay over a wired backhaul: they never spend")
+	fmt.Println("radio budget among themselves, yet every street they overlook")
+	fmt.Println("hears the ad almost immediately.")
+}

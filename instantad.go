@@ -200,6 +200,9 @@ const (
 	Manhattan      = experiment.Manhattan
 	// RPGM moves peers in cohesive groups (Reference Point Group Mobility).
 	RPGM = experiment.RPGM
+	// Road constrains peers to a road graph: vehicles follow shortest paths
+	// between intersections (the urban VANET scenario family).
+	Road = experiment.Road
 )
 
 // DefaultScenario returns the paper's canonical parameter setting (Table
@@ -289,6 +292,9 @@ var (
 	// FigComparator pits Optimized Gossiping against the related-work
 	// Relevance Exchange model.
 	FigComparator = experiment.FigComparator
+	// FigRSUCoverage is the urban VANET extension: road coverage, delivery
+	// and message cost versus roadside-unit count.
+	FigRSUCoverage = experiment.FigRSUCoverage
 )
 
 // SensitivityReport is the tornado analysis of the tuning knobs.

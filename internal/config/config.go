@@ -32,6 +32,11 @@ type scenarioJSON struct {
 	BlockSize  float64 `json:"block_size,omitempty"`
 	TraceFile  string  `json:"trace_file,omitempty"`
 
+	RoadFile     string  `json:"road_file,omitempty"`
+	NumRSU       int     `json:"num_rsu,omitempty"`
+	RSUPlacement string  `json:"rsu_placement,omitempty"`
+	RSURange     float64 `json:"rsu_range,omitempty"`
+
 	PedestrianFraction float64 `json:"pedestrian_fraction,omitempty"`
 	PedestrianSpeed    float64 `json:"pedestrian_speed,omitempty"`
 	PedestrianRange    float64 `json:"pedestrian_range,omitempty"`
@@ -94,6 +99,10 @@ func Encode(w io.Writer, sc experiment.Scenario) error {
 		Pause:              sc.Pause,
 		BlockSize:          sc.BlockSize,
 		TraceFile:          sc.TraceFile,
+		RoadFile:           sc.RoadFile,
+		NumRSU:             sc.NumRSU,
+		RSUPlacement:       sc.RSUPlacement,
+		RSURange:           sc.RSURange,
 		PedestrianFraction: sc.PedestrianFraction,
 		PedestrianSpeed:    sc.PedestrianSpeed,
 		PedestrianRange:    sc.PedestrianRange,
@@ -158,6 +167,10 @@ func Decode(r io.Reader) (experiment.Scenario, error) {
 		Pause:              j.Pause,
 		BlockSize:          j.BlockSize,
 		TraceFile:          j.TraceFile,
+		RoadFile:           j.RoadFile,
+		NumRSU:             j.NumRSU,
+		RSUPlacement:       j.RSUPlacement,
+		RSURange:           j.RSURange,
 		PedestrianFraction: j.PedestrianFraction,
 		PedestrianSpeed:    j.PedestrianSpeed,
 		PedestrianRange:    j.PedestrianRange,

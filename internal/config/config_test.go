@@ -141,6 +141,88 @@ func TestShardsWorkersOmittedStayDefault(t *testing.T) {
 	}
 }
 
+// TestRoadFieldsRoundtrip covers the urban VANET scenario fields.
+func TestRoadFieldsRoundtrip(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Mobility = experiment.Road
+	sc.RoadFile = "roads/grid.txt"
+	sc.NumRSU = 6
+	sc.RSUPlacement = "degree"
+	sc.RSURange = 250
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Errorf("road roundtrip mismatch:\n got  %+v\n want %+v", got, sc)
+	}
+}
+
+// TestRoadFieldsOmittedStayDefault pins backward compatibility: pre-road
+// config files decode with the road fields zero, and zero road fields are
+// omitted on encode so open-field files stay loadable by older builds.
+func TestRoadFieldsOmittedStayDefault(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"road_file"`, `"num_rsu"`, `"rsu_placement"`, `"rsu_range"`} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("zero road field %s serialized: %s", key, buf.String())
+		}
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RoadFile != "" || got.NumRSU != 0 || got.RSUPlacement != "" || got.RSURange != 0 {
+		t.Fatalf("road defaults decoded as %+v", got)
+	}
+}
+
+// TestDecodeRejectsNegativeRSUCount checks scenario validation catches a
+// corrupted RSU count at decode time.
+func TestDecodeRejectsNegativeRSUCount(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Mobility = experiment.Road
+	sc.NumRSU = 4
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"num_rsu": 4`, `"num_rsu": -4`, 1)
+	if !strings.Contains(bad, `"num_rsu": -4`) {
+		t.Fatal("fixture did not contain an num_rsu field to corrupt")
+	}
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("negative num_rsu accepted")
+	}
+}
+
+// TestDecodeRejectsRSUsOffRoad checks cross-field validation: RSUs demand
+// road mobility.
+func TestDecodeRejectsRSUsOffRoad(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Mobility = experiment.Road
+	sc.NumRSU = 4
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"mobility": "road"`, `"mobility": "random-waypoint"`, 1)
+	if !strings.Contains(bad, `"mobility": "random-waypoint"`) {
+		t.Fatal("fixture did not contain the mobility field to corrupt")
+	}
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("RSUs without road mobility accepted")
+	}
+}
+
 // TestDecodeRejectsNegativeShards checks validation runs on decoded files.
 func TestDecodeRejectsNegativeShards(t *testing.T) {
 	sc := experiment.DefaultScenario()

@@ -206,6 +206,11 @@ type Config struct {
 	Eviction EvictionPolicy
 	// Popularity configures interest ranking; zero value disables it.
 	Popularity PopularityConfig
+	// RSUPeers lists peer indices that are fixed roadside units: always-on
+	// infrastructure that relays deterministically within an ad's radius and
+	// syncs caches over a wired backhaul each round (see rsu.go). Indices are
+	// validated against the peer count in New, not here.
+	RSUPeers []int
 }
 
 // Validate checks the configuration.

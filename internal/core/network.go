@@ -136,6 +136,8 @@ type Network struct {
 	// so the postpone hot path pays no per-call type assertion.
 	postObs PostponeObserver
 	rnd     *rng.Stream
+	// rsu is the roadside-unit backhaul state, nil without RSUs (see rsu.go).
+	rsu *rsuState
 
 	// slotW is the round-phase slot width RoundTime/RoundSlots. Round and
 	// entry-timer instants are always recomputed as slot·slotW from integer
@@ -196,6 +198,11 @@ func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg C
 			rnd:       rnd.SplitIndex("peer", i),
 			received:  make(map[ads.ID]bool),
 			relayed:   make(map[ads.ID]relayMark),
+		}
+	}
+	if len(cfg.RSUPeers) > 0 {
+		if err := n.initRSUs(cfg.RSUPeers); err != nil {
+			return nil, err
 		}
 	}
 	return n, nil
@@ -281,6 +288,12 @@ func (n *Network) Start() {
 			p.roundEv = n.sim.ScheduleSplit(float64(p.roundSlot)*n.slotW,
 				p.id, p.gossipDecide, p.gossipCommit)
 		}
+	}
+	// The RSU backhaul syncs once per round under the gossip variants; the
+	// flooding and relevance comparators run without infrastructure help so
+	// their baselines stay the paper's.
+	if n.rsu != nil && n.cfg.Protocol.isGossip() {
+		n.sim.Every(n.cfg.RoundTime, n.cfg.RoundTime, n.rsuBackhaul)
 	}
 }
 
@@ -382,6 +395,8 @@ type Peer struct {
 	rnd       *rng.Stream
 	nextSeq   uint32
 	ticker    *sim.Ticker
+	// isRSU marks fixed roadside-unit peers (see rsu.go).
+	isRSU bool
 
 	// roundEv and roundSlot drive the round-based gossip variants: one split
 	// event per peer, rescheduled a whole round (RoundSlots slots) ahead
@@ -438,6 +453,9 @@ func (p *Peer) Matches(ad *ads.Advertisement) bool {
 // HasReceived reports whether the peer has ever heard the given ad.
 func (p *Peer) HasReceived(id ads.ID) bool { return p.received[id] }
 
+// IsRSU reports whether the peer is a fixed roadside unit.
+func (p *Peer) IsRSU() bool { return p.isRSU }
+
 // Position returns the peer's current position.
 func (p *Peer) Position() geo.Point { return p.net.ch.PositionOf(p.id) }
 
@@ -453,6 +471,16 @@ func (p *Peer) forwardProbAt(ad *ads.Advertisement, pos geo.Point, now float64) 
 	n := p.net
 	d := pos.Dist(ad.Origin)
 	age := ad.Age(now)
+	if p.isRSU {
+		// Infrastructure has no battery to save: a roadside unit inside the
+		// ad's current radius always relays, outside it never does. rng.Bool
+		// short-circuits 0 and 1 without consuming a draw, so RSU streams stay
+		// aligned with their mobile-peer counterparts.
+		if d <= RadiusAt(n.cfg.Params, ad.R, ad.D, age) {
+			return 1
+		}
+		return 0
+	}
 	if n.cfg.Protocol.usesOpt1() {
 		return ForwardProbOpt1(n.cfg.Params, d, ad.R, ad.D, age, n.cfg.DIS)
 	}
@@ -495,6 +523,13 @@ func (p *Peer) markReceived(ad *ads.Advertisement) {
 		return
 	}
 	p.received[ad.ID] = true
+	if p.isRSU {
+		r := p.net.rsu
+		r.deliveries++
+		if r.obsDeliveries != nil {
+			r.obsDeliveries.Inc()
+		}
+	}
 	p.net.obs.OnFirstReceive(p.id, ad, p.net.sim.Now())
 }
 

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// roadScenario is a scaled-down urban scenario on the synthetic grid.
+func roadScenario() Scenario {
+	sc := quickScenario()
+	sc.Mobility = Road
+	sc.NumPeers = 60
+	sc.SimTime = 300
+	return sc
+}
+
+func TestRoadScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"negative rsu count", func(sc *Scenario) { sc.NumRSU = -1 }},
+		{"negative rsu range", func(sc *Scenario) { sc.RSURange = -1 }},
+		{"bogus placement", func(sc *Scenario) { sc.RSUPlacement = "bogus" }},
+		{"road file off-road", func(sc *Scenario) {
+			sc.Mobility = RandomWaypoint
+			sc.RoadFile = "roads.txt"
+		}},
+		{"rsus off-road", func(sc *Scenario) {
+			sc.Mobility = RandomWaypoint
+			sc.NumRSU = 2
+		}},
+	}
+	for _, tc := range cases {
+		sc := roadScenario()
+		tc.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := roadScenario().Validate(); err != nil {
+		t.Fatalf("base road scenario invalid: %v", err)
+	}
+}
+
+func TestRoadMissingRoadFile(t *testing.T) {
+	sc := roadScenario()
+	sc.RoadFile = "/nonexistent/road-graph.txt"
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("validate should defer file checks to Build: %v", err)
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Fatal("Build accepted a missing road file")
+	}
+}
+
+// TestRoadRunCoverage runs the urban scenario end to end and checks the
+// coverage metric is live: nonzero on a road run, zero off-road.
+func TestRoadRunCoverage(t *testing.T) {
+	res, err := roadScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		t.Fatalf("road Coverage = %v, want in (0,1]", res.Coverage)
+	}
+	if res.DeliveryRate < 0 || res.DeliveryRate > 100 {
+		t.Fatalf("delivery rate %v out of range", res.DeliveryRate)
+	}
+
+	off, err := quickScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Coverage != 0 {
+		t.Fatalf("open-field Coverage = %v, want 0", off.Coverage)
+	}
+}
+
+// TestRoadRSUBuild checks RSU peers are appended after the mobile population,
+// flagged, static at intersections, and reported by the network.
+func TestRoadRSUBuild(t *testing.T) {
+	sc := roadScenario()
+	sc.NumRSU = 4
+	sc.RSURange = 200
+	sm, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sm.Net.RSUs()
+	if len(ids) != 4 {
+		t.Fatalf("RSUs() = %v, want 4 ids", ids)
+	}
+	for i, id := range ids {
+		if id != sc.NumPeers+i {
+			t.Fatalf("RSU ids %v, want %d..%d", ids, sc.NumPeers, sc.NumPeers+3)
+		}
+		if !sm.Net.Peer(id).IsRSU() {
+			t.Fatalf("peer %d not flagged as RSU", id)
+		}
+		if got := sm.Net.Channel().RangeOf(id); got != 200 {
+			t.Fatalf("RSU %d range %v, want 200", id, got)
+		}
+		p0 := sm.Net.Channel().PositionAt(id, 0)
+		p1 := sm.Net.Channel().PositionAt(id, sc.SimTime)
+		if p0 != p1 {
+			t.Fatalf("RSU %d moved: %v -> %v", id, p0, p1)
+		}
+	}
+	if got := sm.Net.Channel().RangeOf(0); got != sc.TxRange {
+		t.Fatalf("mobile range %v, want %v", got, sc.TxRange)
+	}
+
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage <= 0 {
+		t.Fatalf("RSU run Coverage = %v, want > 0", res.Coverage)
+	}
+}
+
+func TestFigRSUCoverage(t *testing.T) {
+	base := roadScenario()
+	base.NumPeers = 40
+	base.SimTime = 200
+	var lines []string
+	o := RunOpts{
+		Base: base,
+		Reps: 2,
+		Progress: func(format string, args ...any) {
+			lines = append(lines, format)
+		},
+	}
+	fig, err := FigRSUCoverage(o, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "rsu" || len(fig.Series) != 3 {
+		t.Fatalf("figure shape: id=%q series=%d", fig.ID, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 || s.X[0] != 0 || s.X[1] != 3 {
+			t.Fatalf("series %q X = %v, want [0 3]", s.Label, s.X)
+		}
+	}
+	cov := fig.Series[0]
+	if !strings.Contains(cov.Label, "coverage") {
+		t.Fatalf("first series %q, want the coverage curve", cov.Label)
+	}
+	for i, y := range cov.Y {
+		if y <= 0 || y > 100 {
+			t.Fatalf("coverage point %d = %v%%, want in (0,100]", i, y)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d, want one per RSU count", len(lines))
+	}
+
+	if _, err := FigRSUCoverage(o, []int{-1}); err == nil {
+		t.Fatal("negative RSU count accepted")
+	}
+}

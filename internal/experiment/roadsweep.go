@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+)
+
+// FigRSUCoverage is the urban VANET infrastructure sweep: road coverage,
+// delivery rate and message budget versus roadside-unit count on a road
+// scenario at a fixed gossip configuration — how much infrastructure buys how
+// much coverage at what cost, the question the roadside-dissemination
+// literature asks. counts lists the RSU deployments to compare (default
+// 0, 2, 4, 8; 0 is the pure ad-hoc baseline).
+func FigRSUCoverage(o RunOpts, counts []int) (Figure, error) {
+	o = o.withDefaults()
+	if len(counts) == 0 {
+		counts = []int{0, 2, 4, 8}
+	}
+	f := Figure{
+		ID: "rsu", Title: "Road coverage vs roadside units",
+		XLabel: "Roadside Units", YLabel: "Coverage (%) / Delivery (%) / Messages (k)",
+	}
+	cov := Series{Label: "road coverage %"}
+	rate := Series{Label: "delivery rate %"}
+	msgs := Series{Label: "messages (x1000)"}
+	for _, n := range counts {
+		if n < 0 {
+			return Figure{}, fmt.Errorf("experiment: negative RSU count %d", n)
+		}
+		sc := o.Base
+		sc.Mobility = Road
+		sc.NumRSU = n
+		var sumCov, sumRate, sumMsgs float64
+		for rep := 0; rep < o.Reps; rep++ {
+			run := sc
+			run.Seed = sc.Seed + uint64(rep)
+			res, err := run.Run()
+			if err != nil {
+				return Figure{}, fmt.Errorf("rsu=%d rep %d: %w", n, rep, err)
+			}
+			sumCov += res.Coverage
+			sumRate += res.DeliveryRate
+			sumMsgs += res.Messages
+		}
+		reps := float64(o.Reps)
+		o.Progress("rsu=%-3d coverage=%6.2f%% delivery=%6.2f%% msgs=%8.0f",
+			n, 100*sumCov/reps, sumRate/reps, sumMsgs/reps)
+		x := float64(n)
+		cov.X = append(cov.X, x)
+		cov.Y = append(cov.Y, 100*sumCov/reps)
+		rate.X = append(rate.X, x)
+		rate.Y = append(rate.Y, sumRate/reps)
+		msgs.X = append(msgs.X, x)
+		msgs.Y = append(msgs.Y, sumMsgs/reps/1000)
+	}
+	f.Series = []Series{cov, rate, msgs}
+	return f, nil
+}

@@ -20,6 +20,7 @@ import (
 	"instantad/internal/obs"
 	"instantad/internal/radio"
 	"instantad/internal/rng"
+	"instantad/internal/roadnet"
 	"instantad/internal/sim"
 	"instantad/internal/stats"
 	"instantad/internal/trace"
@@ -38,6 +39,10 @@ const (
 	// RPGM is Reference Point Group Mobility: peers move in cohesive groups
 	// whose reference points do Random Waypoint (GroupSize 4, radius 50 m).
 	RPGM MobilityKind = "rpgm"
+	// Road is the urban VANET model: vehicles confined to a road network
+	// (Scenario.RoadFile, or a synthetic BlockSize street grid), driving
+	// shortest paths between random intersections (mobility.NewRoad).
+	Road MobilityKind = "road"
 )
 
 // String returns the model's flag-friendly name, round-tripping with
@@ -46,7 +51,7 @@ func (k MobilityKind) String() string { return string(k) }
 
 // MobilityKinds lists every movement model, the paper's default first.
 func MobilityKinds() []MobilityKind {
-	return []MobilityKind{RandomWaypoint, RandomWalk, Manhattan, RPGM}
+	return []MobilityKind{RandomWaypoint, RandomWalk, Manhattan, RPGM, Road}
 }
 
 // ParseMobility converts a model name (as produced by String) back to a
@@ -57,7 +62,7 @@ func ParseMobility(s string) (MobilityKind, error) {
 			return k, nil
 		}
 	}
-	return "", fmt.Errorf("experiment: unknown mobility %q (want random-waypoint | random-walk | manhattan | rpgm)", s)
+	return "", fmt.Errorf("experiment: unknown mobility %q (want random-waypoint | random-walk | manhattan | rpgm | road)", s)
 }
 
 // Scenario fully describes one simulation run. The zero value is not
@@ -86,6 +91,26 @@ type Scenario struct {
 	PedestrianSpeed float64
 	// PedestrianRange is the handset transmission range, m (default 50).
 	PedestrianRange float64
+
+	// Urban VANET (Mobility == Road only).
+	//
+	// RoadFile loads the road network from an edge-list file (see
+	// roadnet.Parse for the format). Empty generates a synthetic street grid
+	// over the field with BlockSize spacing.
+	RoadFile string
+	// NumRSU adds that many fixed roadside units at chosen intersections:
+	// always-on infrastructure peers, appended after the NumPeers mobile
+	// peers, that relay deterministically inside an ad's radius and sync
+	// caches over a wired backhaul each round (see core RSU docs). RSUs are
+	// excluded from churn but count in delivery metrics and may issue ads
+	// (the nearest peer to the issue point can be a unit).
+	NumRSU int
+	// RSUPlacement picks the intersections: "spread" (default, greedy
+	// k-center), "random", or "degree" (roadnet.ParsePlacement).
+	RSUPlacement string
+	// RSURange overrides the units' transmission range in meters; zero keeps
+	// TxRange.
+	RSURange float64
 
 	// Radio.
 	TxRange  float64
@@ -218,9 +243,26 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("experiment: bad ad parameters R=%v D=%v", sc.R, sc.D)
 	}
 	switch sc.Mobility {
-	case RandomWaypoint, RandomWalk, Manhattan, RPGM:
+	case RandomWaypoint, RandomWalk, Manhattan, RPGM, Road:
 	default:
 		return fmt.Errorf("experiment: unknown mobility %q", sc.Mobility)
+	}
+	if sc.NumRSU < 0 {
+		return fmt.Errorf("experiment: negative RSU count %d", sc.NumRSU)
+	}
+	if sc.RSURange < 0 {
+		return fmt.Errorf("experiment: negative RSU range %v", sc.RSURange)
+	}
+	if sc.Mobility != Road {
+		if sc.RoadFile != "" {
+			return fmt.Errorf("experiment: road file set but mobility is %q, not road", sc.Mobility)
+		}
+		if sc.NumRSU > 0 {
+			return fmt.Errorf("experiment: %d RSUs need road mobility, not %q", sc.NumRSU, sc.Mobility)
+		}
+	}
+	if _, err := roadnet.ParsePlacement(sc.RSUPlacement); err != nil {
+		return err
 	}
 	if sc.PedestrianFraction < 0 || sc.PedestrianFraction > 1 {
 		return fmt.Errorf("experiment: pedestrian fraction %v outside [0,1]", sc.PedestrianFraction)
@@ -244,6 +286,39 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("experiment: negative round slots %d", sc.RoundSlots)
 	}
 	return nil
+}
+
+// rsuRange resolves the roadside units' transmission range.
+func (sc Scenario) rsuRange() float64 {
+	if sc.RSURange > 0 {
+		return sc.RSURange
+	}
+	return sc.TxRange
+}
+
+// roadGraph loads or generates the scenario's road network; nil for
+// non-road mobility. The synthetic fallback is a street grid spanning the
+// field at BlockSize spacing (150 m when unset), at least 2×2.
+func (sc Scenario) roadGraph() (*roadnet.Graph, error) {
+	if sc.Mobility != Road {
+		return nil, nil
+	}
+	if sc.RoadFile != "" {
+		return roadnet.Load(sc.RoadFile)
+	}
+	spacing := sc.BlockSize
+	if spacing <= 0 {
+		spacing = 150
+	}
+	cols := int(sc.FieldW/spacing) + 1
+	rows := int(sc.FieldH/spacing) + 1
+	if cols < 2 {
+		cols = 2
+	}
+	if rows < 2 {
+		rows = 2
+	}
+	return roadnet.Grid(cols, rows, spacing)
 }
 
 // pedestrianSpeed resolves the mixed-fleet walking speed default.
@@ -307,7 +382,7 @@ func (sc Scenario) radioConfig() radio.Config {
 // movement script or by generating trajectories. Peers flagged as
 // pedestrians walk (Random Waypoint at walking speed) regardless of the
 // vehicular mobility model.
-func (sc Scenario) buildModels(rnd *rng.Stream, peds []bool) ([]mobility.Model, error) {
+func (sc Scenario) buildModels(rnd *rng.Stream, peds []bool, graph *roadnet.Graph) ([]mobility.Model, error) {
 	if sc.TraceFile != "" {
 		return sc.loadTraceModels()
 	}
@@ -362,6 +437,11 @@ func (sc Scenario) buildModels(rnd *rng.Stream, peds []bool) ([]mobility.Model, 
 				Field: field, BlockSize: sc.BlockSize,
 				SpeedMean: sc.SpeedMean, SpeedDelta: sc.SpeedDelta, Horizon: sc.SimTime,
 			}, s)
+		case Road:
+			m, err = mobility.NewRoad(mobility.RoadConfig{
+				Graph: graph, SpeedMean: sc.SpeedMean, SpeedDelta: sc.SpeedDelta,
+				Pause: sc.Pause, Horizon: sc.SimTime,
+			}, s)
 		}
 		if err != nil {
 			return nil, err
@@ -407,6 +487,10 @@ type Result struct {
 	LoadGini     float64 // inequality of per-peer transmission counts, [0,1)
 	Duplicates   uint64
 	Evictions    uint64
+	// Coverage is the urban coverage metric: the peak sampled fraction of
+	// in-area road length within radio range of an informed peer, 0–1. Always
+	// 0 for non-road scenarios.
+	Coverage float64
 	// Snapshot freezes the run's sim_* registry at exit — executor batch and
 	// phase metrics plus the collector's counters and histograms.
 	Snapshot *obs.Snapshot
@@ -450,14 +534,35 @@ func (sc Scenario) Build() (*Sim, error) {
 		return nil, err
 	}
 	rnd := rng.New(sc.Seed)
-	peds := sc.pedestrianFlags(rnd.Split("devices"))
-	models, err := sc.buildModels(rnd.Split("models"), peds)
+	graph, err := sc.roadGraph()
 	if err != nil {
 		return nil, err
 	}
+	peds := sc.pedestrianFlags(rnd.Split("devices"))
+	models, err := sc.buildModels(rnd.Split("models"), peds, graph)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sc.coreConfig()
+	if sc.NumRSU > 0 {
+		// Roadside units are appended after the mobile fleet as static peers
+		// pinned at the chosen intersections.
+		place, err := roadnet.ParsePlacement(sc.RSUPlacement)
+		if err != nil {
+			return nil, err
+		}
+		nodes, err := roadnet.PlaceRSUs(graph, sc.NumRSU, place, rnd.Split("rsu"))
+		if err != nil {
+			return nil, err
+		}
+		for i, nd := range nodes {
+			models = append(models, mobility.NewStatic(graph.Pos(nd)))
+			cfg.RSUPeers = append(cfg.RSUPeers, sc.NumPeers+i)
+		}
+	}
 	s := sim.New()
 	s.SetWorkers(sc.Workers)
-	net, err := core.New(s, sc.radioConfig(), models, sc.coreConfig(), rnd.Split("protocol"))
+	net, err := core.New(s, sc.radioConfig(), models, cfg, rnd.Split("protocol"))
 	if err != nil {
 		return nil, err
 	}
@@ -470,11 +575,28 @@ func (sc Scenario) Build() (*Sim, error) {
 			}
 		}
 	}
+	if r := sc.rsuRange(); sc.NumRSU > 0 && r != sc.TxRange {
+		for _, id := range net.RSUs() {
+			if err := net.Channel().SetNodeRange(id, r); err != nil {
+				return nil, err
+			}
+		}
+	}
 	col := metrics.NewCollector(s, net.Channel(), net.Config().Params, sc.SampleEvery)
 	reg := obs.NewRegistry()
 	s.SetRegistry(reg)
 	col.InstrumentWith(reg)
 	net.Channel().InstrumentWith(reg)
+	net.InstrumentWith(reg)
+	if graph != nil {
+		col.EnableRoadCoverage(metrics.NewRoadCoverage(graph, 0), reg)
+		g := graph
+		reg.GaugeFunc("sim_road_edges", "road segments in the scenario's network",
+			func() float64 { return float64(g.M()) })
+		numMobile := sc.NumPeers
+		reg.GaugeFunc("sim_road_peers", "mobile peers confined to the road network",
+			func() float64 { return float64(numMobile) })
+	}
 	net.SetObserver(col)
 	net.Start()
 	if sc.ChurnOnMean > 0 {
@@ -483,9 +605,11 @@ func (sc Scenario) Build() (*Sim, error) {
 	return &Sim{Scenario: sc, Engine: s, Net: net, Metrics: col, Registry: reg, rnd: rnd}, nil
 }
 
-// armChurn gives every peer an alternating exponential on/off radio cycle.
+// armChurn gives every mobile peer an alternating exponential on/off radio
+// cycle. Roadside units (appended after the mobile fleet) are mains-powered
+// infrastructure and never churn.
 func armChurn(s *sim.Simulator, net *core.Network, sc Scenario, rnd *rng.Stream) {
-	for i := 0; i < net.NumPeers(); i++ {
+	for i := 0; i < sc.NumPeers; i++ {
 		i := i
 		r := rnd.SplitIndex("peer", i)
 		var flip func(online bool)
@@ -548,7 +672,9 @@ func (sc Scenario) Run() (Result, error) {
 	})
 	if sc.IssuerOfflineAfter > 0 {
 		sm.Engine.Schedule(sc.IssueTime+sc.IssuerOfflineAfter, func() {
-			if h.Ad != nil {
+			// A roadside unit playing the issuer is fixed infrastructure: it
+			// cannot pocket its radio and walk away.
+			if h.Ad != nil && !sm.Net.Peer(int(h.Ad.ID.Issuer)).IsRSU() {
 				_ = sm.Net.SetPeerOnline(int(h.Ad.ID.Issuer), false)
 			}
 		})
@@ -578,6 +704,7 @@ func (sc Scenario) Run() (Result, error) {
 		LoadGini:     sm.Metrics.LoadGini(),
 		Duplicates:   sm.Metrics.Duplicates(),
 		Evictions:    sm.Metrics.Evictions(),
+		Coverage:     rep.RoadCoverage,
 	}, nil
 }
 

@@ -225,7 +225,7 @@ func TestScenarioFromNS2Trace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	models, err := sc.buildModels(rng.New(sc.Seed).Split("models"), nil)
+	models, err := sc.buildModels(rng.New(sc.Seed).Split("models"), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

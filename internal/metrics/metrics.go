@@ -50,6 +50,12 @@ type Collector struct {
 	expirations   uint64
 	perPeerTx     []float64
 
+	// roadCov measures the urban road-coverage metric when enabled (see
+	// coverage.go); lastCoverage is the most recent sampled fraction, fed to
+	// the sim_road_coverage gauge.
+	roadCov      *RoadCoverage
+	lastCoverage float64
+
 	// Registry instruments, nil until InstrumentWith (see there).
 	obsMessages    *obs.Counter
 	obsBytes       *obs.Counter
@@ -74,6 +80,14 @@ type adTrack struct {
 
 	messages uint64
 	bytes    uint64
+
+	// Road-coverage state, populated only when the collector has a measurer:
+	// covDist caches each road sample point's distance to the ad origin,
+	// coverage is the sampled coverage-vs-budget trajectory and covPeak its
+	// running maximum.
+	covDist  []float64
+	coverage []CoveragePoint
+	covPeak  float64
 }
 
 // NewCollector builds a collector sampling positions every sampleEvery
@@ -149,6 +163,9 @@ func (c *Collector) OnIssue(issuer int, ad *ads.Advertisement, t float64) {
 			tr.enterTime[i] = t
 		}
 	}
+	if c.roadCov != nil {
+		tr.covDist = c.roadCov.DistancesFrom(tr.origin)
+	}
 	c.tracked[ad.ID] = tr
 }
 
@@ -216,9 +233,11 @@ func (c *Collector) OnExpire(int, ads.ID, float64) {
 	}
 }
 
-// sample advances the area-crossing detector one step.
+// sample advances the area-crossing detector one step (and, when enabled,
+// the road-coverage measurer).
 func (c *Collector) sample() {
 	now := c.sim.Now()
+	maxCov := 0.0
 	for _, tr := range c.tracked {
 		if tr.done {
 			continue
@@ -228,6 +247,11 @@ func (c *Collector) sample() {
 		if rt <= 0 {
 			tr.done = true
 			continue
+		}
+		if c.roadCov != nil {
+			if frac := c.coverAd(tr, now, rt); frac > maxCov {
+				maxCov = frac
+			}
 		}
 		circle := geo.Circle{C: tr.origin, R: rt}
 		for i := range tr.entered {
@@ -250,6 +274,9 @@ func (c *Collector) sample() {
 		c.prevPos[i] = c.ch.PositionAt(i, now)
 	}
 	c.prevT = now
+	if c.roadCov != nil {
+		c.lastCoverage = maxCov
+	}
 }
 
 // AdReport is the per-advertisement evaluation result.
@@ -264,6 +291,10 @@ type AdReport struct {
 	P50, P95 float64
 	Messages uint64
 	Bytes    uint64
+	// RoadCoverage is the peak sampled fraction of in-area road length within
+	// radio range of an informed peer (0–1); always 0 unless the collector's
+	// road-coverage measurer is enabled (see EnableRoadCoverage).
+	RoadCoverage float64
 }
 
 // String renders the report in the paper's metric vocabulary.
@@ -280,7 +311,7 @@ func (c *Collector) Report(id ads.ID) (AdReport, error) {
 	if !ok {
 		return AdReport{}, fmt.Errorf("metrics: ad %v was never issued", id)
 	}
-	rep := AdReport{ID: id, Messages: tr.messages, Bytes: tr.bytes}
+	rep := AdReport{ID: id, Messages: tr.messages, Bytes: tr.bytes, RoadCoverage: tr.covPeak}
 	var times []float64
 	for i := range tr.entered {
 		if !tr.entered[i] {

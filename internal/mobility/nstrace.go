@@ -66,8 +66,11 @@ func ExportNS2(w io.Writer, models []Model) error {
 			return fmt.Errorf("mobility: model %d has no trajectory", i)
 		}
 		first := legs[0]
-		fmt.Fprintf(bw, "$node_(%d) set X_ %.6f\n", i, first.From[0])
-		fmt.Fprintf(bw, "$node_(%d) set Y_ %.6f\n", i, first.From[1])
+		// Nine decimals (nanometer / nanosecond grain): setdest's usual six
+		// accumulate enough arrival-time error on back-to-back legs (road
+		// paths, Manhattan turns) to confuse re-import.
+		fmt.Fprintf(bw, "$node_(%d) set X_ %.9f\n", i, first.From[0])
+		fmt.Fprintf(bw, "$node_(%d) set Y_ %.9f\n", i, first.From[1])
 		fmt.Fprintf(bw, "$node_(%d) set Z_ 0.000000\n", i)
 		for _, l := range legs {
 			if l.From == l.To {
@@ -80,7 +83,7 @@ func ExportNS2(w io.Writer, models []Model) error {
 			dx := l.To[0] - l.From[0]
 			dy := l.To[1] - l.From[1]
 			speed := math.Hypot(dx, dy) / dur
-			fmt.Fprintf(bw, "$ns_ at %.6f \"$node_(%d) setdest %.6f %.6f %.6f\"\n",
+			fmt.Fprintf(bw, "$ns_ at %.9f \"$node_(%d) setdest %.9f %.9f %.9f\"\n",
 				l.T0, i, l.To[0], l.To[1], speed)
 		}
 	}
@@ -167,7 +170,10 @@ func ParseNS2(r io.Reader) (map[int]Model, error) {
 		cur := [2]float64{st.x, st.y}
 		t := 0.0
 		for k, mv := range st.moves {
-			if mv.at < t-1e-9 {
+			// Arrival times are reconstructed from rounded coordinates and
+			// speeds, so back-to-back legs land within the serialization
+			// grain of the previous arrival; genuine overlaps are far larger.
+			if mv.at < t-1e-4 {
 				return nil, fmt.Errorf("mobility: node %d: setdest %d at %v fires before the previous move ends (%v)", id, k, mv.at, t)
 			}
 			if mv.at > t {

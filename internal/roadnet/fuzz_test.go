@@ -1,0 +1,45 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoadFile checks that Parse never panics on arbitrary input and
+// that every graph it accepts survives a Write→Parse round trip unchanged.
+func FuzzParseRoadFile(f *testing.F) {
+	f.Add("node 0 0 0\nnode 1 100 0\nedge 0 1\n")
+	f.Add("# comment\nnode 0 1.5 -2.5\nnode 1 3 4\nnode 2 0 9\nedge 0 1\nedge 1 2\n")
+	f.Add("edge 1 0\nnode 1 100 0\nnode 0 0 0\n")
+	f.Add("node 0 1e3 2e-3\nnode 1 0 0\nedge 0 1")
+	f.Add("node 0 0 0\nnode 0 0 0\n")
+	f.Add("street 0 0 0\n")
+	f.Add("node 0 NaN 0\n")
+	f.Add("")
+	g, _ := Grid(3, 3, 100)
+	var buf bytes.Buffer
+	_ = g.Write(&buf)
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("accepted graph with %d nodes, %d edges", g.N(), g.M())
+		}
+		var out bytes.Buffer
+		if err := g.Write(&out); err != nil {
+			t.Fatalf("write accepted graph: %v", err)
+		}
+		back, err := Parse(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out.String())
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+	})
+}

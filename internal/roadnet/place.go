@@ -1,0 +1,128 @@
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+
+	"instantad/internal/geo"
+	"instantad/internal/rng"
+)
+
+// Placement selects how roadside units are assigned to intersections.
+type Placement string
+
+const (
+	// PlaceSpread is the default: a greedy k-center sweep that starts at the
+	// intersection nearest the network's centroid and repeatedly adds the
+	// intersection farthest (euclidean) from every unit placed so far —
+	// cheap, deterministic, and a good approximation of the max-coverage
+	// placements the VANET literature computes exactly.
+	PlaceSpread Placement = "spread"
+	// PlaceRandom draws intersections uniformly without replacement from the
+	// provided stream — the uninformed-deployment baseline.
+	PlaceRandom Placement = "random"
+	// PlaceDegree picks the highest-degree intersections (major junctions),
+	// lowest id on ties.
+	PlaceDegree Placement = "degree"
+)
+
+// String returns the strategy's flag-friendly name.
+func (p Placement) String() string { return string(p) }
+
+// Placements lists every RSU placement strategy, the default first.
+func Placements() []Placement { return []Placement{PlaceSpread, PlaceRandom, PlaceDegree} }
+
+// ParsePlacement converts a strategy name back to a Placement. The empty
+// string selects the default spread strategy.
+func ParsePlacement(s string) (Placement, error) {
+	if s == "" {
+		return PlaceSpread, nil
+	}
+	for _, p := range Placements() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("roadnet: unknown RSU placement %q (want spread | random | degree)", s)
+}
+
+// PlaceRSUs chooses n distinct intersections per the strategy and returns
+// their node ids in ascending order. The stream is only consumed by
+// PlaceRandom; it may be nil for the deterministic strategies.
+func PlaceRSUs(g *Graph, n int, strategy Placement, s *rng.Stream) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("roadnet: negative RSU count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > g.N() {
+		return nil, fmt.Errorf("roadnet: %d RSUs but only %d intersections", n, g.N())
+	}
+	var ids []int
+	switch strategy {
+	case PlaceSpread, "":
+		ids = placeSpread(g, n)
+	case PlaceRandom:
+		if s == nil {
+			return nil, fmt.Errorf("roadnet: random placement needs an rng stream")
+		}
+		ids = s.Perm(g.N())[:n]
+	case PlaceDegree:
+		ids = placeDegree(g, n)
+	default:
+		return nil, fmt.Errorf("roadnet: unknown RSU placement %q", strategy)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// placeSpread implements the greedy k-center sweep described on PlaceSpread.
+func placeSpread(g *Graph, n int) []int {
+	var centroid geo.Point
+	for i := 0; i < g.N(); i++ {
+		p := g.Pos(i)
+		centroid.X += p.X
+		centroid.Y += p.Y
+	}
+	centroid.X /= float64(g.N())
+	centroid.Y /= float64(g.N())
+
+	ids := []int{g.NearestNode(centroid)}
+	// minD2[i] is node i's squared distance to the closest chosen unit.
+	minD2 := make([]float64, g.N())
+	for i := range minD2 {
+		minD2[i] = g.Pos(i).Dist2(g.Pos(ids[0]))
+	}
+	for len(ids) < n {
+		best, bestD := -1, -1.0
+		for i, d := range minD2 {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		ids = append(ids, best)
+		for i := range minD2 {
+			if d := g.Pos(i).Dist2(g.Pos(best)); d < minD2[i] {
+				minD2[i] = d
+			}
+		}
+	}
+	return ids
+}
+
+// placeDegree picks the n highest-degree nodes, lowest id on ties.
+func placeDegree(g *Graph, n int) []int {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		dx, dy := g.Degree(order[x]), g.Degree(order[y])
+		if dx != dy {
+			return dx > dy
+		}
+		return order[x] < order[y]
+	})
+	return append([]int(nil), order[:n]...)
+}

@@ -23,3 +23,18 @@ NODE=$!
     node_sent_total:counter,node_received_total:counter,node_peers_live:gauge,node_seen_live:gauge,node_send_latency_seconds:histogram,node_receive_latency_seconds:histogram,discovery_neighbors:gauge,discovery_neighbors_new_total:counter,discovery_beacon_interarrival_seconds:histogram
 
 echo "metrics smoke: ok"
+
+# Simulation-registry half: run a small road+RSU scenario and check its
+# snapshot carries the urban VANET instruments alongside the core families.
+go build -o "$BIN/adsim" ./cmd/adsim
+"$BIN/adsim" -mobility road -peers 60 -sim-time 300 -rsu 4 \
+    -metrics-out "$BIN/road_snapshot.json" > /dev/null
+for name in sim_rsu_syncs_total sim_rsu_deliveries_total sim_rsus \
+    sim_road_coverage sim_road_edges sim_road_peers; do
+    grep -q "\"$name\"" "$BIN/road_snapshot.json" || {
+        echo "road metrics smoke: $name missing from adsim snapshot" >&2
+        exit 1
+    }
+done
+
+echo "road metrics smoke: ok"
