@@ -1,0 +1,35 @@
+package instantad_test
+
+import (
+	"runtime"
+	"testing"
+
+	"instantad/internal/core"
+	"instantad/internal/experiment"
+)
+
+// TestAsyncChurnSmoke drives the asynchronous pairwise protocol through the
+// full parallel engine — oversubscribed workers, a sharded field, collisions,
+// losses and churn — as the race-detector gate for the async hot path: scan
+// decides on shard-affine workers, handshake deliveries and timeout reclaims
+// in sequential commits. Run under -race in CI.
+func TestAsyncChurnSmoke(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Protocol = core.AsyncGossip
+	sc.AsyncK = 2
+	sc.Collisions = true
+	sc.LossRate = 0.1
+	sc.FadeZone = 20
+	sc.ChurnOnMean = 300
+	sc.ChurnOffMean = 60
+	sc.SimTime = 300
+	sc.Workers = runtime.GOMAXPROCS(0) + 2
+	sc.Shards = 4
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRate <= 0 || res.Messages <= 0 {
+		t.Errorf("async run degenerate: delivery=%v messages=%v", res.DeliveryRate, res.Messages)
+	}
+}

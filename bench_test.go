@@ -506,6 +506,27 @@ func BenchmarkComparatorRelevanceExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncSpread measures the asynchronous pairwise family (mobile
+// telephone model) against broadcast gossip at the canonical density:
+// spread performance per exchange bound k, with the delivery/message
+// metrics alongside ns/op so the broadcast advantage is visible straight
+// from `go test -bench`.
+func BenchmarkAsyncSpread(b *testing.B) {
+	b.Run("Gossiping", func(b *testing.B) {
+		sc := benchBase()
+		sc.Protocol = instantad.Gossip
+		runAndReport(b, sc)
+	})
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("Async/k=%d", k), func(b *testing.B) {
+			sc := benchBase()
+			sc.Protocol = instantad.AsyncGossip
+			sc.AsyncK = k
+			runAndReport(b, sc)
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the discrete-event substrate
 // itself: events dispatched per wall-clock second driving the canonical
 // dense scenario.

@@ -27,7 +27,7 @@ func main() {
 	var (
 		cfgFile    = flag.String("config", "", "load scenario from a JSON file (explicit flags still override)")
 		saveConfig = flag.String("save-config", "", "write the effective scenario as JSON and exit")
-		protocol   = flag.String("protocol", "Optimized Gossiping", "protocol: Flooding | Gossiping | Optimized Gossiping-1 | Optimized Gossiping-2 | Optimized Gossiping | Relevance Exchange")
+		protocol   = flag.String("protocol", "Optimized Gossiping", "protocol: Flooding | Gossiping | Optimized Gossiping-1 | Optimized Gossiping-2 | Optimized Gossiping | Relevance Exchange | Async Gossiping")
 		peers      = flag.Int("peers", 300, "number of mobile peers")
 		fieldW     = flag.Float64("field", 1500, "square field side, meters")
 		speed      = flag.Float64("speed", 10, "mean motion speed, m/s")
@@ -44,6 +44,9 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.5, "probability drop parameter α ∈ (0,1)")
 		beta       = flag.Float64("beta", 0.5, "radius decay parameter β ∈ (0,1)")
 		round      = flag.Float64("round", 5, "gossiping round time, seconds")
+		asyncK     = flag.Int("async-k", 0, "max simultaneous pairwise exchanges per peer (Async Gossiping; 0 = 1)")
+		asyncDelay = flag.Float64("async-delay", 0, "mean inter-proposal delay, seconds (Async Gossiping; 0 = round time)")
+		asyncTmo   = flag.Float64("async-timeout", 0, "pairwise handshake timeout, seconds (Async Gossiping; 0 = round time)")
 		dis        = flag.Float64("dis", 0, "annulus width DIS, meters (0 = R/4)")
 		cacheK     = flag.Int("cache", 10, "per-peer ad cache capacity")
 		simTime    = flag.Float64("sim-time", 2000, "simulation length, seconds")
@@ -114,7 +117,10 @@ func main() {
 	})
 	override("road", func() {
 		sc.RoadFile = *roadFile
-		if !set["mobility"] {
+		// Only an explicitly given -road implies road mobility; without it
+		// this override still runs in the no-config case (where every
+		// override applies) and must not hijack the mobility model.
+		if set["road"] && !set["mobility"] {
 			sc.Mobility = instantad.Road
 		}
 	})
@@ -127,6 +133,9 @@ func main() {
 	override("alpha", func() { sc.Alpha = *alpha })
 	override("beta", func() { sc.Beta = *beta })
 	override("round", func() { sc.RoundTime = *round })
+	override("async-k", func() { sc.AsyncK = *asyncK })
+	override("async-delay", func() { sc.AsyncMeanDelay = *asyncDelay })
+	override("async-timeout", func() { sc.AsyncTimeout = *asyncTmo })
 	override("dis", func() { sc.DIS = *dis })
 	override("cache", func() { sc.CacheK = *cacheK })
 	override("sim-time", func() { sc.SimTime = *simTime })

@@ -7,7 +7,7 @@
 //	figures -fig fig7       # one figure (fig2 fig3 fig5 fig7 fig8 fig9
 //	                        #   fig10a fig10b fig10c beta fm contention
 //	                        #   popularity spread capacity comparator
-//	                        #   rsu sensitivity)
+//	                        #   rsu async sensitivity)
 //	figures -fig rsu -rsu 0,4,8,16            # coverage vs roadside units
 //	figures -fig rsu -road city.txt           # ... on an imported road graph
 //	figures -quick          # scaled-down sweeps for a fast sanity pass
@@ -209,6 +209,11 @@ func main() {
 		ropts.Base.RoadFile = *roadFile
 		f, err := instantad.FigRSUCoverage(ropts, counts)
 		show(f, err)
+	}
+	if want("async") {
+		a, b, err := instantad.FigAsync(opts)
+		show(a, err)
+		show(b, nil)
 	}
 	if want("comparator") {
 		f, err := instantad.FigComparator(opts)

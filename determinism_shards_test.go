@@ -45,6 +45,12 @@ func TestRunDeterminismAcrossShards(t *testing.T) {
 			sc.SpeedDelta = 5
 		}},
 		{"optimized-gossiping-2", func(sc *experiment.Scenario) { sc.Protocol = core.GossipOpt2 }},
+		// Async pairwise handshakes are carried by unicast delivery events
+		// that may cross stripe edges mid-exchange; each k must stay
+		// bit-identical when the field is split into tiles.
+		{"async-k1-churn-impaired", func(sc *experiment.Scenario) { asyncImpaired(sc, 1) }},
+		{"async-k2-churn-impaired", func(sc *experiment.Scenario) { asyncImpaired(sc, 2) }},
+		{"async-k3-churn-impaired", func(sc *experiment.Scenario) { asyncImpaired(sc, 3) }},
 	}
 	grids := []struct {
 		shards, workers int

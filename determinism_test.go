@@ -101,6 +101,19 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// asyncImpaired switches a scenario to the asynchronous pairwise protocol
+// at the given exchange bound under the impaired channel + churn mix the
+// round-based cases use.
+func asyncImpaired(sc *experiment.Scenario, k int) {
+	sc.Protocol = core.AsyncGossip
+	sc.AsyncK = k
+	sc.Collisions = true
+	sc.LossRate = 0.1
+	sc.FadeZone = 20
+	sc.ChurnOnMean = 300
+	sc.ChurnOffMean = 60
+}
+
 // TestRunDeterminismAcrossWorkers is the parallel executor's equivalence
 // gate: the same scenario must produce bit-for-bit identical metrics and
 // channel counters whether round batches decide on one worker or many
@@ -130,6 +143,13 @@ func TestRunDeterminismAcrossWorkers(t *testing.T) {
 			sc.ChurnOnMean = 300
 			sc.ChurnOffMean = 60
 		}},
+		// The async pairwise family is the hardest case for the two-phase
+		// contract: handshakes span instants, timers reclaim exchange slots,
+		// and churn plus losses exercise every timeout path. Each k under the
+		// impaired channel must match bit for bit across worker counts.
+		{"async-k1-churn-impaired", func(sc *experiment.Scenario) { asyncImpaired(sc, 1) }},
+		{"async-k2-churn-impaired", func(sc *experiment.Scenario) { asyncImpaired(sc, 2) }},
+		{"async-k3-churn-impaired", func(sc *experiment.Scenario) { asyncImpaired(sc, 3) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -30,7 +30,11 @@
 // Opportunistic Gossiping (Formulas 1–2, Algorithms 1–2). GossipOpt1 adds
 // the velocity-constrained annular probability (Formula 3), GossipOpt2 the
 // overhearing postponement (Formula 4, Algorithms 3–4), and GossipOpt both —
-// the paper's headline "Optimized Gossiping".
+// the paper's headline "Optimized Gossiping". Beyond the paper's five,
+// RelevanceExchange is the related-work encounter-exchange comparator and
+// AsyncGossip replaces the shared round clock with asynchronous pairwise
+// exchanges in the mobile telephone model (per-peer exponential timers, at
+// most Scenario.AsyncK simultaneous connections).
 //
 // # Popularity ranking
 //
@@ -191,6 +195,10 @@ const (
 	// the paper's related work (relevance-ranked exchange at encounter),
 	// implemented as a comparator.
 	RelevanceExchange = core.RelevanceExchange
+	// AsyncGossip is the asynchronous pairwise family (mobile telephone
+	// model): no shared round instant; each peer proposes exchanges on its
+	// own exponential clock and holds at most Scenario.AsyncK connections.
+	AsyncGossip = core.AsyncGossip
 )
 
 // Mobility models.
@@ -295,6 +303,10 @@ var (
 	// FigRSUCoverage is the urban VANET extension: road coverage, delivery
 	// and message cost versus roadside-unit count.
 	FigRSUCoverage = experiment.FigRSUCoverage
+	// FigAsync compares the asynchronous pairwise family (k = 1…3, with and
+	// without churn) against broadcast gossip: spread time and message cost
+	// across network density.
+	FigAsync = experiment.FigAsync
 )
 
 // SensitivityReport is the tornado analysis of the tuning knobs.

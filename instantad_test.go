@@ -113,7 +113,7 @@ func TestPublicRunReplicated(t *testing.T) {
 }
 
 func TestPublicFacadeCoverage(t *testing.T) {
-	if len(instantad.AllProtocols()) != 6 {
+	if len(instantad.AllProtocols()) != 7 {
 		t.Errorf("AllProtocols = %v", instantad.AllProtocols())
 	}
 	h := instantad.NewHLL(6, 1)

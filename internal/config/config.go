@@ -47,14 +47,19 @@ type scenarioJSON struct {
 	Collisions    bool    `json:"collisions,omitempty"`
 	MeasureEnergy bool    `json:"measure_energy,omitempty"`
 
-	Protocol  string  `json:"protocol"`
-	Alpha     float64 `json:"alpha"`
-	Beta      float64 `json:"beta"`
-	DistUnit  float64 `json:"dist_unit,omitempty"`
-	TimeUnit  float64 `json:"time_unit,omitempty"`
-	RoundTime float64 `json:"round_time"`
-	DIS       float64 `json:"dis,omitempty"`
-	CacheK    int     `json:"cache_k"`
+	Protocol   string  `json:"protocol"`
+	Alpha      float64 `json:"alpha"`
+	Beta       float64 `json:"beta"`
+	DistUnit   float64 `json:"dist_unit,omitempty"`
+	TimeUnit   float64 `json:"time_unit,omitempty"`
+	RoundTime  float64 `json:"round_time"`
+	RoundSlots int     `json:"round_slots,omitempty"`
+	DIS        float64 `json:"dis,omitempty"`
+	CacheK     int     `json:"cache_k"`
+
+	AsyncK         int     `json:"async_k,omitempty"`
+	AsyncMeanDelay float64 `json:"async_mean_delay,omitempty"`
+	AsyncTimeout   float64 `json:"async_timeout,omitempty"`
 
 	Popularity *popularityJSON `json:"popularity,omitempty"`
 
@@ -116,8 +121,12 @@ func Encode(w io.Writer, sc experiment.Scenario) error {
 		DistUnit:           sc.DistUnit,
 		TimeUnit:           sc.TimeUnit,
 		RoundTime:          sc.RoundTime,
+		RoundSlots:         sc.RoundSlots,
 		DIS:                sc.DIS,
 		CacheK:             sc.CacheK,
+		AsyncK:             sc.AsyncK,
+		AsyncMeanDelay:     sc.AsyncMeanDelay,
+		AsyncTimeout:       sc.AsyncTimeout,
 		R:                  sc.R,
 		D:                  sc.D,
 		Category:           sc.Category,
@@ -184,8 +193,12 @@ func Decode(r io.Reader) (experiment.Scenario, error) {
 		DistUnit:           j.DistUnit,
 		TimeUnit:           j.TimeUnit,
 		RoundTime:          j.RoundTime,
+		RoundSlots:         j.RoundSlots,
 		DIS:                j.DIS,
 		CacheK:             j.CacheK,
+		AsyncK:             j.AsyncK,
+		AsyncMeanDelay:     j.AsyncMeanDelay,
+		AsyncTimeout:       j.AsyncTimeout,
 		R:                  j.R,
 		D:                  j.D,
 		Category:           j.Category,

@@ -223,6 +223,70 @@ func TestDecodeRejectsRSUsOffRoad(t *testing.T) {
 	}
 }
 
+// TestAsyncFieldsRoundtrip covers the asynchronous pairwise gossip knobs
+// plus the slot-grid width.
+func TestAsyncFieldsRoundtrip(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Protocol = core.AsyncGossip
+	sc.RoundSlots = 32
+	sc.AsyncK = 2
+	sc.AsyncMeanDelay = 15
+	sc.AsyncTimeout = 45
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Errorf("async roundtrip mismatch:\n got  %+v\n want %+v", got, sc)
+	}
+}
+
+// TestAsyncFieldsOmittedStayDefault pins backward compatibility: pre-async
+// config files decode with the async fields zero ("pick the default"), and
+// zero async fields are omitted on encode so round-gossip files stay
+// loadable by older builds.
+func TestAsyncFieldsOmittedStayDefault(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"round_slots"`, `"async_k"`, `"async_mean_delay"`, `"async_timeout"`} {
+		if strings.Contains(buf.String(), key) {
+			t.Fatalf("zero async field %s serialized: %s", key, buf.String())
+		}
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RoundSlots != 0 || got.AsyncK != 0 || got.AsyncMeanDelay != 0 || got.AsyncTimeout != 0 {
+		t.Fatalf("async defaults decoded as %+v", got)
+	}
+}
+
+// TestDecodeRejectsNegativeAsyncK checks validation runs on the async knobs.
+func TestDecodeRejectsNegativeAsyncK(t *testing.T) {
+	sc := experiment.DefaultScenario()
+	sc.Protocol = core.AsyncGossip
+	sc.AsyncK = 2
+	var buf bytes.Buffer
+	if err := Encode(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"async_k": 2`, `"async_k": -2`, 1)
+	if !strings.Contains(bad, `"async_k": -2`) {
+		t.Fatal("fixture did not contain an async_k field to corrupt")
+	}
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("negative async_k accepted")
+	}
+}
+
 // TestDecodeRejectsNegativeShards checks validation runs on decoded files.
 func TestDecodeRejectsNegativeShards(t *testing.T) {
 	sc := experiment.DefaultScenario()

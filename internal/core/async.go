@@ -1,0 +1,335 @@
+package core
+
+// Asynchronous pairwise gossip — the "mobile telephone model" from the
+// Newport line of related work (Gossip in a Smartphone Peer-to-Peer Network;
+// Asynchronous Gossip in Smartphone Peer-to-Peer Networks). Instead of the
+// paper's shared round clock and local broadcast, every peer wakes on its own
+// exponential timer and holds at most Config.AsyncK simultaneous pairwise
+// exchanges. A wake-up proposes a connection to one uniformly chosen radio
+// neighbor; the neighbor answers accept (carrying its P(d,t)-sampled ads) or
+// busy; the proposer completes the exchange with a transfer frame carrying
+// its own sampled ads. Unanswered proposals and half-open exchanges release
+// their connection slot after Config.AsyncTimeout.
+//
+// Determinism under the parallel executor follows the same two-phase
+// contract as the round protocols: scan decisions run on shard-affine
+// workers and touch only per-peer streams, peer-owned buffers and the
+// read-only grid snapshot; every send, cache mutation and shared-stream draw
+// happens in the sequential commit phase or in plain (sequential) delivery
+// events. Scan instants land on the RoundSlots grid purely so coinciding
+// timers batch — there is no shared round instant.
+
+import (
+	"instantad/internal/ads"
+	"instantad/internal/obs"
+	"instantad/internal/radio"
+	"instantad/internal/sim"
+)
+
+// asyncKind discriminates the pairwise-family wire frames.
+type asyncKind uint8
+
+const (
+	// asyncPropose asks a neighbor to open an exchange.
+	asyncPropose asyncKind = iota
+	// asyncAccept grants the exchange and carries the responder's sampled ads.
+	asyncAccept
+	// asyncBusy declines: the responder is at its connection bound.
+	asyncBusy
+	// asyncTransfer completes the exchange with the proposer's sampled ads.
+	asyncTransfer
+)
+
+// asyncFrame is the payload of every pairwise-family message.
+type asyncFrame struct {
+	kind asyncKind
+	conn uint64 // connection id: proposer index << 32 | proposer-local sequence
+	ads  []*ads.Advertisement
+}
+
+// asyncHeaderBytes models the fixed wire overhead of an async frame: kind +
+// flags (4), connection id (8), ad count (4).
+const asyncHeaderBytes = 16
+
+// asyncConn is one live connection slot: a pending proposal on the proposer
+// side, or a granted exchange awaiting its transfer on the responder side.
+type asyncConn struct {
+	id       uint64
+	peer     int
+	proposer bool
+	timer    *sim.Event
+}
+
+// asyncPeerState is the per-peer connection manager.
+type asyncPeerState struct {
+	// scanEv is the peer's wake-up timer (a split event on the slot grid);
+	// slot is its integer position on that grid.
+	scanEv *sim.Event
+	slot   int64
+	// conns are the occupied connection slots, ≤ Config.AsyncK, in open order.
+	conns []asyncConn
+	// nextConn numbers this peer's proposals for connection ids.
+	nextConn uint32
+	// Decide-phase scratch, applied by the matching commit: the next-scan
+	// delay and the chosen proposal target (-1 = none).
+	delay  float64
+	target int
+	// cand is the reusable neighbor-candidate buffer and one the reusable
+	// single-receiver list (the channel reads, never retains, receiver
+	// slices).
+	cand []int
+	one  [1]int
+}
+
+// startAsync arms the peer's scan timer. The initial phase is uniform in
+// [0, AsyncMeanDelay) so the population desynchronizes from t = 0; every
+// later wake-up draws an exponential gap, so no two peers share a round
+// structure — the slot grid is retained purely as batching granularity.
+func (p *Peer) startAsync() {
+	n := p.net
+	st := &asyncPeerState{target: -1}
+	p.async = st
+	st.slot = n.slotAfter(p.rnd.Range(0, n.cfg.AsyncMeanDelay))
+	st.scanEv = n.sim.ScheduleSplit(float64(st.slot)*n.slotW, p.id,
+		p.asyncDecide, p.asyncCommit)
+}
+
+// connectedTo reports whether a connection slot already involves peer j.
+func (st *asyncPeerState) connectedTo(j int) bool {
+	for i := range st.conns {
+		if st.conns[i].peer == j {
+			return true
+		}
+	}
+	return false
+}
+
+// asyncDecide is the scan timer's decision phase: draw the next inter-scan
+// gap (always, so stream consumption does not depend on online or connection
+// state) and, when a slot is free and the radio is on, choose a uniform
+// neighbor to propose to. Reads only peer-owned state and the batch's fixed
+// grid snapshot; the send happens in asyncCommit.
+func (p *Peer) asyncDecide(worker int) {
+	n := p.net
+	st := p.async
+	st.delay = p.rnd.Exp(1 / n.cfg.AsyncMeanDelay)
+	st.target = -1
+	if len(st.conns) >= n.cfg.AsyncK || !n.ch.Online(p.id) {
+		return
+	}
+	st.cand = n.scratch[worker].AppendNeighborsOf(st.cand[:0], p.id)
+	w := 0
+	for _, j := range st.cand {
+		if !st.connectedTo(j) {
+			st.cand[w] = j
+			w++
+		}
+	}
+	if w == 0 {
+		return
+	}
+	st.target = st.cand[p.rnd.Intn(w)]
+}
+
+// asyncCommit applies the scan decision: reschedule the wake-up timer a
+// clamped whole number of slots ahead, then open the proposed connection (if
+// any) and transmit the proposal with the channel's shared-stream draws.
+func (p *Peer) asyncCommit() {
+	n := p.net
+	st := p.async
+	st.slot += n.slotsFor(st.delay)
+	n.sim.Reschedule(st.scanEv, float64(st.slot)*n.slotW)
+	if st.target < 0 || len(st.conns) >= n.cfg.AsyncK {
+		return
+	}
+	id := uint64(uint32(p.id))<<32 | uint64(st.nextConn)
+	st.nextConn++
+	p.openConn(id, st.target, true)
+	if ao := n.asyncObs; ao != nil {
+		ao.proposals.Inc()
+	}
+	p.sendAsync(asyncPropose, id, nil, st.target)
+}
+
+// openConn occupies a connection slot and arms its reclaim timeout.
+func (p *Peer) openConn(id uint64, peer int, proposer bool) {
+	n := p.net
+	st := p.async
+	c := asyncConn{id: id, peer: peer, proposer: proposer}
+	c.timer = n.sim.After(n.cfg.AsyncTimeout, func() { p.asyncTimeout(id) })
+	st.conns = append(st.conns, c)
+	if ao := n.asyncObs; ao != nil {
+		ao.concurrent.Observe(float64(len(st.conns)))
+	}
+}
+
+// closeConn releases the slot holding connection id, cancelling its timeout.
+// It reports whether the slot was still held (false: the timeout already
+// reclaimed it, so the arriving frame is a straggler).
+func (p *Peer) closeConn(id uint64) bool {
+	st := p.async
+	for i := range st.conns {
+		if st.conns[i].id != id {
+			continue
+		}
+		p.net.sim.Cancel(st.conns[i].timer)
+		st.conns = append(st.conns[:i], st.conns[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// asyncTimeout reclaims a connection slot whose handshake never completed —
+// a proposal to an offline or out-of-range peer, a lost reply, or a transfer
+// dropped by the channel.
+func (p *Peer) asyncTimeout(id uint64) {
+	st := p.async
+	for i := range st.conns {
+		if st.conns[i].id != id {
+			continue
+		}
+		st.conns = append(st.conns[:i], st.conns[i+1:]...)
+		if ao := p.net.asyncObs; ao != nil {
+			ao.timeouts.Inc()
+		}
+		return
+	}
+}
+
+// sendAsync transmits one pairwise frame to a single receiver. Ad-bearing
+// frames account one OnBroadcast per carried ad — the same unit a round
+// protocol's broadcast counts — plus the frame's fixed header on the wire.
+func (p *Peer) sendAsync(kind asyncKind, conn uint64, payload []*ads.Advertisement, to int) {
+	n := p.net
+	if !n.ch.Online(p.id) {
+		return
+	}
+	now := n.sim.Now()
+	bytes := asyncHeaderBytes
+	for _, ad := range payload {
+		bytes += ad.WireSize()
+		n.obs.OnBroadcast(p.id, ad.ID, ad.WireSize(), now)
+	}
+	if ao := n.asyncObs; ao != nil && (kind == asyncAccept || kind == asyncTransfer) {
+		ao.bytes.Observe(float64(bytes))
+	}
+	st := p.async
+	st.one[0] = to
+	n.ch.BroadcastTo(radio.Frame{
+		From:    p.id,
+		Payload: asyncFrame{kind: kind, conn: conn, ads: payload},
+		Bytes:   bytes,
+	}, st.one[:])
+}
+
+// sampleAds walks the cache applying the paper's forwarding rule per
+// exchange: expired entries are dropped, every survivor's probability is
+// refreshed at the current position, and each is included in the outgoing
+// payload with probability P(d,t). Included snapshots are marked Shared so
+// later local mutations copy first (the same copy-on-write contract as
+// broadcastAd).
+func (p *Peer) sampleAds() []*ads.Advertisement {
+	n := p.net
+	now := n.sim.Now()
+	var out []*ads.Advertisement
+	entries := p.cache.Entries()
+	for i := 0; i < len(entries); i++ {
+		e := entries[i]
+		if e.Ad.Expired(now) {
+			p.cache.Remove(e.Ad.ID)
+			n.obs.OnExpire(p.id, e.Ad.ID, now)
+			continue
+		}
+		e.Prob = p.forwardProb(e.Ad)
+		if !p.rnd.Bool(e.Prob) {
+			continue
+		}
+		e.Shared = true
+		out = append(out, e.Ad)
+	}
+	return out
+}
+
+// receiveAds absorbs an exchange payload through the regular gossip insert
+// path (duplicate merge, popularity, overflow eviction); opt-2 timers and
+// postponement stay off because usesOpt2 is false for the async family.
+func (p *Peer) receiveAds(list []*ads.Advertisement, from int) {
+	for _, ad := range list {
+		p.handleGossip(gossipFrame{ad: ad}, from)
+	}
+}
+
+// handleAsync routes one arriving pairwise frame. Delivery events run
+// sequentially, so handshake state changes here need no decide/commit split.
+func (p *Peer) handleAsync(f asyncFrame, from int) {
+	n := p.net
+	st := p.async
+	switch f.kind {
+	case asyncPropose:
+		if len(st.conns) >= n.cfg.AsyncK || st.connectedTo(from) {
+			if ao := n.asyncObs; ao != nil {
+				ao.busy.Inc()
+			}
+			p.sendAsync(asyncBusy, f.conn, nil, from)
+			return
+		}
+		p.openConn(f.conn, from, false)
+		p.sendAsync(asyncAccept, f.conn, p.sampleAds(), from)
+	case asyncAccept:
+		// A straggler accept (our proposal already timed out) still carries
+		// usable data — absorb it — but the handshake is dead: no transfer,
+		// no completed-exchange count, and the responder's hold will time out.
+		live := p.closeConn(f.conn)
+		p.receiveAds(f.ads, from)
+		if !live {
+			return
+		}
+		if ao := n.asyncObs; ao != nil {
+			ao.exchanges.Inc()
+		}
+		p.sendAsync(asyncTransfer, f.conn, p.sampleAds(), from)
+	case asyncBusy:
+		p.closeConn(f.conn)
+	case asyncTransfer:
+		p.closeConn(f.conn)
+		p.receiveAds(f.ads, from)
+	}
+}
+
+// asyncInstruments are the pairwise-family connection instruments.
+type asyncInstruments struct {
+	proposals  *obs.Counter
+	busy       *obs.Counter
+	exchanges  *obs.Counter
+	timeouts   *obs.Counter
+	concurrent *obs.Histogram
+	bytes      *obs.Histogram
+}
+
+// instrumentAsync registers the connection instruments; a no-op for
+// round-based protocols.
+func (n *Network) instrumentAsync(reg *obs.Registry) {
+	if !n.cfg.Protocol.isAsync() {
+		return
+	}
+	k := n.cfg.AsyncK
+	if k < 4 {
+		k = 4
+	}
+	n.asyncObs = &asyncInstruments{
+		proposals: reg.Counter("sim_async_proposals_total",
+			"Pairwise connection proposals sent."),
+		busy: reg.Counter("sim_async_busy_total",
+			"Proposals declined because the responder was at its connection bound."),
+		exchanges: reg.Counter("sim_async_exchanges_total",
+			"Pairwise exchanges completed (accept received by the proposer)."),
+		timeouts: reg.Counter("sim_async_timeouts_total",
+			"Connection slots reclaimed by timeout before the handshake finished."),
+		concurrent: reg.Histogram("sim_async_concurrent_exchanges",
+			"Occupied connection slots at each slot acquisition.",
+			obs.LinearBuckets(1, 1, k)),
+		bytes: reg.Histogram("sim_async_exchange_bytes",
+			"Wire bytes of ad-bearing exchange frames (accept + transfer).",
+			obs.ExpBuckets(64, 2, 12)),
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"instantad/internal/geo"
+	"instantad/internal/mobility"
+	"instantad/internal/obs"
+	"instantad/internal/rng"
+	"instantad/internal/sim"
+)
+
+// asyncConfig is testConfig tuned for the pairwise family: frequent scans so
+// short test runs see many exchanges.
+func asyncConfig(k int) Config {
+	cfg := testConfig(AsyncGossip)
+	cfg.AsyncK = k
+	cfg.AsyncMeanDelay = 1
+	cfg.AsyncTimeout = 2
+	return cfg
+}
+
+// TestSlotsForClampsToOneSlot is the zero-slot regression test: a delay of
+// zero (uniform draws can produce exactly 0) or smaller than the float grid
+// must still advance a timer by one whole slot — a zero-slot reschedule
+// lands at the timer's current instant, and the executor would re-fire it in
+// the very batch that armed it.
+func TestSlotsForClampsToOneSlot(t *testing.T) {
+	_, n := staticNet(t, testConfig(GossipOpt2), []geo.Point{{X: 0, Y: 0}})
+	for _, delay := range []float64{0, 1e-300, n.slotW / 2} {
+		if got := n.slotsFor(delay); got != 1 {
+			t.Errorf("slotsFor(%g) = %d, want 1 (clamped)", delay, got)
+		}
+	}
+	if got := n.slotsFor(2.5 * n.slotW); got != 3 {
+		t.Errorf("slotsFor(2.5 slots) = %d, want 3 (ceil)", got)
+	}
+}
+
+// TestSlotAfterExactBoundary audits the slot rounding at exact boundaries:
+// an instant already on the grid maps to its own slot (no spurious bump),
+// one ULP above maps to the next, and armEntryTimer from a boundary instant
+// always schedules strictly in the future.
+func TestSlotAfterExactBoundary(t *testing.T) {
+	_, n := staticNet(t, testConfig(GossipOpt2), []geo.Point{{X: 0, Y: 0}})
+	for _, k := range []int64{0, 1, 7, 64, 1000} {
+		at := float64(k) * n.slotW
+		if got := n.slotAfter(at); got != k {
+			t.Errorf("slotAfter(%d·slotW) = %d, want %d", k, got, k)
+		}
+	}
+	if got := n.slotAfter(3*n.slotW + 1e-12); got != 4 {
+		t.Errorf("slotAfter(just past slot 3) = %d, want 4", got)
+	}
+	// A timer armed at a boundary instant (now + RoundTime lands exactly on
+	// the grid because slotW divides RoundTime) must fire strictly later.
+	slot := n.slotAfter(n.sim.Now() + n.cfg.RoundTime)
+	if at := float64(slot) * n.slotW; at <= n.sim.Now() {
+		t.Errorf("entry timer instant %v not strictly after now %v", at, n.sim.Now())
+	}
+}
+
+// TestAsyncSpread checks end-to-end dissemination under the pairwise family:
+// a chain of static peers inside radio range, no broadcasts anywhere, and
+// the ad still reaches every peer through propose/accept/transfer exchanges.
+func TestAsyncSpread(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 120, Y: 0}, {X: 180, Y: 0}}
+	s, n := staticNet(t, asyncConfig(2), pts)
+	reg := obs.NewRegistry()
+	n.InstrumentWith(reg)
+	n.Start()
+	ad, err := n.IssueAd(0, AdSpec{R: 500, D: 400, Category: "food", Text: "async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(200)
+	for i := range pts {
+		if !n.Peer(i).HasReceived(ad.ID) {
+			t.Errorf("peer %d never received the ad through pairwise exchanges", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sim_async_proposals_total"] == 0 {
+		t.Error("no proposals counted")
+	}
+	if snap.Counters["sim_async_exchanges_total"] == 0 {
+		t.Error("no completed exchanges counted")
+	}
+	if snap.Histograms["sim_async_exchange_bytes"].Count == 0 {
+		t.Error("no exchange bytes observed")
+	}
+}
+
+// TestAsyncConnectionBound pins the k-bound: with AsyncK=1 and three peers
+// in mutual range, no peer ever holds more than one connection slot, and
+// contention produces busy-rejects.
+func TestAsyncConnectionBound(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 40, Y: 0}, {X: 20, Y: 35}}
+	s, n := staticNet(t, asyncConfig(1), pts)
+	reg := obs.NewRegistry()
+	n.InstrumentWith(reg)
+	n.Start()
+	if _, err := n.IssueAd(0, AdSpec{R: 500, D: 400, Category: "food", Text: "bound"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Every(0.25, 0.25, func() {
+		for i := 0; i < n.NumPeers(); i++ {
+			if got := len(n.Peer(i).async.conns); got > 1 {
+				t.Fatalf("peer %d holds %d connections, bound is 1", i, got)
+			}
+		}
+	})
+	s.Run(150)
+	snap := reg.Snapshot()
+	if snap.Counters["sim_async_busy_total"] == 0 {
+		t.Error("three peers contending for k=1 slots produced no busy-rejects")
+	}
+	if hs := snap.Histograms["sim_async_concurrent_exchanges"]; hs.Count == 0 {
+		t.Error("concurrent-exchange histogram never observed")
+	}
+}
+
+// TestAsyncChurnTimeouts drives the reclaim path: handshake frames lost by
+// the channel must release their slot via timeout, not wedge the proposer
+// forever — including while the counterpart churns offline and back.
+func TestAsyncChurnTimeouts(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}}
+	sm := sim.New()
+	models := []mobility.Model{mobility.NewStatic(pts[0]), mobility.NewStatic(pts[1])}
+	rcfg := testRadio()
+	rcfg.LossRate = 0.4
+	n, err := New(sm, rcfg, models, asyncConfig(1), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sm
+	reg := obs.NewRegistry()
+	n.InstrumentWith(reg)
+	n.Start()
+	if _, err := n.IssueAd(0, AdSpec{R: 500, D: 400, Category: "food", Text: "churn"}); err != nil {
+		t.Fatal(err)
+	}
+	// Toggle peer 1 on exact slot-grid instants (RoundTime multiples) so the
+	// satellite audit's boundary case — state changes coinciding with timer
+	// instants — is exercised too; a schedule-in-the-past would panic here.
+	online := true
+	s.Every(n.cfg.RoundTime, n.cfg.RoundTime, func() {
+		online = !online
+		if err := n.SetPeerOnline(1, online); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s.Run(200)
+	if reg.Snapshot().Counters["sim_async_timeouts_total"] == 0 {
+		t.Error("proposals to an offline peer never timed out")
+	}
+	// The survivor must not be wedged: its slot count is 0 or 1, and its scan
+	// timer is still armed.
+	if got := len(n.Peer(0).async.conns); got > 1 {
+		t.Errorf("proposer holds %d slots after churn run, bound is 1", got)
+	}
+	if !n.Peer(0).async.scanEv.Pending() {
+		t.Error("scan timer dead after churn run")
+	}
+}
+
+// TestAsyncIssueDoesNotBroadcast pins the family's defining property: issue
+// puts the ad in the issuer's cache only — the radio stays silent until an
+// exchange is established.
+func TestAsyncIssueDoesNotBroadcast(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}}
+	_, n := staticNet(t, asyncConfig(1), pts)
+	n.Start()
+	ad, err := n.IssueAd(0, AdSpec{R: 500, D: 400, Category: "food", Text: "quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Channel().Stats().Broadcasts; got != 0 {
+		t.Errorf("IssueAd under AsyncGossip transmitted %d frames, want 0", got)
+	}
+	if n.Peer(0).cache.Get(ad.ID) == nil {
+		t.Error("issuer's own cache does not hold the issued ad")
+	}
+}
+
+// TestAsyncConfigValidation covers the new Config fields and the widened
+// protocol bound.
+func TestAsyncConfigValidation(t *testing.T) {
+	cfg := testConfig(AsyncGossip)
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid async config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"negative k":       func(c *Config) { c.AsyncK = -1 },
+		"negative delay":   func(c *Config) { c.AsyncMeanDelay = -1 },
+		"negative timeout": func(c *Config) { c.AsyncTimeout = -0.5 },
+		"past enum end":    func(c *Config) { c.Protocol = AsyncGossip + 1 },
+	} {
+		bad := cfg
+		mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if got, err := ParseProtocol("Async Gossiping"); err != nil || got != AsyncGossip {
+		t.Errorf("ParseProtocol(Async Gossiping) = %v, %v", got, err)
+	}
+	if AsyncGossip.isGossip() {
+		t.Error("AsyncGossip classified as round-based gossip")
+	}
+	if !AsyncGossip.isAsync() || Gossip.isAsync() {
+		t.Error("isAsync misclassifies")
+	}
+}

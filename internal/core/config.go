@@ -27,6 +27,12 @@ const (
 	// from the paper's related work: relevance-ranked resources exchanged at
 	// peer encounters instead of gossiped every round.
 	RelevanceExchange
+	// AsyncGossip is the mobile telephone model from the Newport line of
+	// related work: no shared round clock; each peer wakes on its own
+	// exponential timer and holds at most Config.AsyncK pairwise exchanges at
+	// a time (propose / accept-or-busy / transfer), forwarding each cached ad
+	// across an established connection with the paper's P(d,t) probability.
+	AsyncGossip
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +50,8 @@ func (p Protocol) String() string {
 		return "Optimized Gossiping"
 	case RelevanceExchange:
 		return "Relevance Exchange"
+	case AsyncGossip:
+		return "Async Gossiping"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
@@ -55,10 +63,11 @@ func Protocols() []Protocol {
 	return []Protocol{Flooding, Gossip, GossipOpt2, GossipOpt1, GossipOpt}
 }
 
-// AllProtocols lists every implemented protocol, including the related-work
-// Relevance Exchange comparator.
+// AllProtocols lists every implemented protocol: the paper's five, the
+// related-work Relevance Exchange comparator, and the asynchronous pairwise
+// family.
 func AllProtocols() []Protocol {
-	return append(Protocols(), RelevanceExchange)
+	return append(Protocols(), RelevanceExchange, AsyncGossip)
 }
 
 // ParseProtocol converts a name (as produced by String, case-sensitive) back
@@ -79,8 +88,19 @@ func (p Protocol) usesOpt1() bool { return p == GossipOpt1 || p == GossipOpt }
 func (p Protocol) usesOpt2() bool { return p == GossipOpt2 || p == GossipOpt }
 
 // isGossip reports whether the protocol is any of the paper's gossiping
-// variants (round-based probabilistic forwarding).
-func (p Protocol) isGossip() bool { return p != Flooding && p != RelevanceExchange }
+// variants (round-based probabilistic broadcast forwarding). The async
+// family shares the P(d,t) forwarding rule but not the round structure, so
+// it is deliberately excluded — use isAsync for it.
+func (p Protocol) isGossip() bool {
+	switch p {
+	case Gossip, GossipOpt1, GossipOpt2, GossipOpt:
+		return true
+	}
+	return false
+}
+
+// isAsync reports whether the protocol is the round-free pairwise family.
+func (p Protocol) isAsync() bool { return p == AsyncGossip }
 
 // PopularityConfig parameterizes the interest-ranking mechanism
 // (Section III.E). The zero value disables it.
@@ -211,11 +231,25 @@ type Config struct {
 	// syncs caches over a wired backhaul each round (see rsu.go). Indices are
 	// validated against the peer count in New, not here.
 	RSUPeers []int
+	// AsyncK bounds the number of simultaneous pairwise exchanges a peer
+	// holds under AsyncGossip (pending proposals included). Zero selects 1,
+	// the classic mobile-telephone bound. Ignored by the round-based
+	// protocols.
+	AsyncK int
+	// AsyncMeanDelay is the mean of the exponential inter-scan delay under
+	// AsyncGossip: after each wake-up a peer draws its next from
+	// Exp(1/AsyncMeanDelay). Zero selects RoundTime, making the average
+	// contact-attempt rate comparable to one broadcast round.
+	AsyncMeanDelay float64
+	// AsyncTimeout bounds how long an unanswered proposal (or an accepted
+	// exchange whose transfer never arrives) reserves a connection slot
+	// before it is reclaimed. Zero selects RoundTime.
+	AsyncTimeout float64
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if c.Protocol < Flooding || c.Protocol > RelevanceExchange {
+	if c.Protocol < Flooding || c.Protocol > AsyncGossip {
 		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
 	}
 	if err := c.Params.Validate(); err != nil {
@@ -238,6 +272,15 @@ func (c Config) Validate() error {
 	}
 	if c.Eviction < EvictLowestProb || c.Eviction > EvictRandomEntry {
 		return fmt.Errorf("core: unknown eviction policy %d", c.Eviction)
+	}
+	if c.AsyncK < 0 {
+		return fmt.Errorf("core: negative async exchange bound %d", c.AsyncK)
+	}
+	if c.AsyncMeanDelay < 0 {
+		return fmt.Errorf("core: negative async mean delay %v", c.AsyncMeanDelay)
+	}
+	if c.AsyncTimeout < 0 {
+		return fmt.Errorf("core: negative async timeout %v", c.AsyncTimeout)
 	}
 	return c.Popularity.validate()
 }

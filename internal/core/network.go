@@ -138,6 +138,9 @@ type Network struct {
 	rnd     *rng.Stream
 	// rsu is the roadside-unit backhaul state, nil without RSUs (see rsu.go).
 	rsu *rsuState
+	// asyncObs holds the pairwise-family connection instruments, nil until
+	// InstrumentWith runs under AsyncGossip (see async.go).
+	asyncObs *asyncInstruments
 
 	// slotW is the round-phase slot width RoundTime/RoundSlots. Round and
 	// entry-timer instants are always recomputed as slot·slotW from integer
@@ -166,6 +169,17 @@ func New(s *sim.Simulator, radioCfg radio.Config, models []mobility.Model, cfg C
 	cfg.Popularity = cfg.Popularity.withDefaults()
 	if cfg.RoundSlots == 0 {
 		cfg.RoundSlots = DefaultRoundSlots
+	}
+	if cfg.Protocol.isAsync() {
+		if cfg.AsyncK == 0 {
+			cfg.AsyncK = 1
+		}
+		if cfg.AsyncMeanDelay == 0 {
+			cfg.AsyncMeanDelay = cfg.RoundTime
+		}
+		if cfg.AsyncTimeout == 0 {
+			cfg.AsyncTimeout = cfg.RoundTime
+		}
 	}
 	n := &Network{
 		cfg:   cfg,
@@ -229,6 +243,21 @@ func (n *Network) slotAfter(t float64) int64 {
 	return k
 }
 
+// slotsFor converts a relative timer delay into whole slots on the round
+// grid, never fewer than one. Ceil alone maps a delay smaller than the
+// float64 granularity of the grid — in particular an exact zero, which
+// uniform draws can produce — to zero slots, which would reschedule a timer
+// at its current instant; the executor dispatches same-instant split events
+// as one batch, so a zero-slot reschedule re-fires the timer in the very
+// batch that armed it.
+func (n *Network) slotsFor(delay float64) int64 {
+	slots := int64(math.Ceil(delay / n.slotW))
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
 // SetObserver installs the metrics observer. It must be called before Start;
 // a nil observer resets to the no-op.
 func (n *Network) SetObserver(obs Observer) {
@@ -281,6 +310,10 @@ func (n *Network) Start() {
 		for _, p := range n.peers {
 			p.startRelevance()
 		}
+	case n.cfg.Protocol.isAsync():
+		for _, p := range n.peers {
+			p.startAsync()
+		}
 	case n.cfg.Protocol.isGossip() && !n.cfg.Protocol.usesOpt2():
 		for _, p := range n.peers {
 			p := p
@@ -289,10 +322,11 @@ func (n *Network) Start() {
 				p.id, p.gossipDecide, p.gossipCommit)
 		}
 	}
-	// The RSU backhaul syncs once per round under the gossip variants; the
+	// The RSU backhaul syncs once per round under the gossip variants and the
+	// async family (infrastructure keeps its wired link either way); the
 	// flooding and relevance comparators run without infrastructure help so
 	// their baselines stay the paper's.
-	if n.rsu != nil && n.cfg.Protocol.isGossip() {
+	if n.rsu != nil && (n.cfg.Protocol.isGossip() || n.cfg.Protocol.isAsync()) {
 		n.sim.Every(n.cfg.RoundTime, n.cfg.RoundTime, n.rsuBackhaul)
 	}
 }
@@ -354,6 +388,17 @@ func (n *Network) IssueAd(issuer int, spec AdSpec) (*ads.Advertisement, error) {
 		p.broadcastAd(e)
 		return ad, nil
 	}
+	if n.cfg.Protocol.isAsync() {
+		// Pairwise family: the ad enters the issuer's cache and spreads only
+		// through established exchanges — there is no broadcast primitive.
+		own := ad.Clone()
+		p.applyPopularity(own)
+		_, overflow := p.cache.Insert(own, p.forwardProb(own))
+		if overflow {
+			p.evictOne()
+		}
+		return ad, nil
+	}
 	// Gossip variants: self-deliver and spread once.
 	own := ad.Clone()
 	p.applyPopularity(own)
@@ -380,6 +425,8 @@ func (n *Network) deliver(to int, f radio.Frame) {
 		}
 	case floodFrame:
 		p.handleFlood(payload)
+	case asyncFrame:
+		p.handleAsync(payload, f.From)
 	default:
 		panic(fmt.Sprintf("core: unknown frame payload %T", f.Payload))
 	}
@@ -422,6 +469,9 @@ type Peer struct {
 	// relevance holds the Relevance Exchange comparator's state, nil under
 	// the paper's own protocols.
 	relevance *relevancePeerState
+	// async holds the pairwise-family connection manager state, nil under
+	// every round-based protocol.
+	async *asyncPeerState
 }
 
 // ID returns the peer's index.
@@ -783,10 +833,7 @@ func (p *Peer) postpone(e *ads.Entry, from int) {
 	overlap := n.ch.OverlapWith(from, p.id)
 	toSender := n.ch.PositionOf(from).Sub(n.ch.PositionOf(p.id))
 	theta := geo.AngleBetween(n.ch.VelocityOf(p.id), toSender)
-	slots := int64(math.Ceil(PostponeInterval(n.cfg.RoundTime, overlap, theta) / n.slotW))
-	if slots < 1 {
-		slots = 1
-	}
+	slots := n.slotsFor(PostponeInterval(n.cfg.RoundTime, overlap, theta))
 	if n.postObs != nil {
 		n.postObs.OnPostpone(p.id, e.Ad.ID, float64(slots)*n.slotW, n.sim.Now())
 	}

@@ -172,7 +172,7 @@ func TestParseRelevanceExchangeName(t *testing.T) {
 	if err != nil || p != RelevanceExchange {
 		t.Errorf("parse: %v %v", p, err)
 	}
-	if len(AllProtocols()) != len(Protocols())+1 {
-		t.Error("AllProtocols should add exactly the comparator")
+	if len(AllProtocols()) != len(Protocols())+2 {
+		t.Error("AllProtocols should add exactly the comparator and the async family")
 	}
 }

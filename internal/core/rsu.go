@@ -80,9 +80,11 @@ func (n *Network) RSUDeliveries() uint64 {
 	return n.rsu.deliveries
 }
 
-// InstrumentWith attaches the network's infrastructure instruments to reg.
-// Call before the simulation runs; a no-op for networks without RSUs.
+// InstrumentWith attaches the network's infrastructure and protocol-family
+// instruments to reg. Call before the simulation runs; each group is a no-op
+// when its feature is off.
 func (n *Network) InstrumentWith(reg *obs.Registry) {
+	n.instrumentAsync(reg)
 	if n.rsu == nil {
 		return
 	}

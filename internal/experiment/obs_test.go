@@ -70,3 +70,60 @@ func TestRegistryPopulatedByRun(t *testing.T) {
 		t.Errorf("sim_delivery_time_seconds family = %+v", fams["sim_delivery_time_seconds"])
 	}
 }
+
+// TestRegistryScopedPerRun guards the long-lived-process contract: repeated
+// Scenario runs in one process (the cmd/figures sweeps) must not inherit
+// instruments or values from an earlier run — in particular, an open-field
+// run after an urban one must not expose a stale sim_road_coverage gauge.
+// Build scopes every run to a fresh registry; this pins that, plus value
+// equality across back-to-back identical runs.
+func TestRegistryScopedPerRun(t *testing.T) {
+	road := roadScenario()
+	road.NumRSU = 2
+	sm1, err := road.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm1.ScheduleAd(road.IssueTime, road.issueAt(), core.AdSpec{
+		R: road.R, D: road.D, Category: road.Category, Text: "urban run",
+	})
+	sm1.Engine.Run(road.SimTime)
+	snap1 := sm1.Registry.Snapshot()
+	if _, ok := snap1.Gauges["sim_road_coverage"]; !ok {
+		t.Fatal("urban run missing sim_road_coverage (test premise broken)")
+	}
+	if snap1.Counters["sim_messages_total"] == 0 {
+		t.Fatal("urban run sent no messages (test premise broken)")
+	}
+
+	// Second run, same process, open field: its registry must start clean.
+	plain := quickScenario()
+	sm2, err := plain.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := sm2.Registry.Snapshot()
+	for _, stale := range []string{"sim_road_coverage", "sim_road_edges", "sim_road_peers", "sim_rsus"} {
+		if _, ok := snap2.Gauges[stale]; ok {
+			t.Errorf("open-field run inherited %s from the previous urban run", stale)
+		}
+	}
+	if got := snap2.Counters["sim_messages_total"]; got != 0 {
+		t.Errorf("fresh run starts with sim_messages_total = %d, want 0", got)
+	}
+
+	// Identical back-to-back runs must expose identical counter values —
+	// carry-over in either direction would break one side.
+	r1, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Messages != r2.Messages || r1.DeliveryRate != r2.DeliveryRate {
+		t.Errorf("back-to-back identical runs diverged: %v/%v msgs, %v/%v delivery",
+			r1.Messages, r2.Messages, r1.DeliveryRate, r2.DeliveryRate)
+	}
+}

@@ -177,6 +177,18 @@ type Scenario struct {
 	// RoundSlots overrides the per-round phase quantization
 	// (core.Config.RoundSlots); zero selects the default 64.
 	RoundSlots int
+
+	// Async pairwise family (Protocol == core.AsyncGossip only; ignored by
+	// the round-based protocols).
+	//
+	// AsyncK bounds a peer's simultaneous pairwise exchanges; zero means 1.
+	AsyncK int
+	// AsyncMeanDelay is the mean exponential inter-scan delay in seconds;
+	// zero means RoundTime.
+	AsyncMeanDelay float64
+	// AsyncTimeout reclaims half-open exchanges after this many seconds;
+	// zero means RoundTime.
+	AsyncTimeout float64
 }
 
 // DefaultScenario returns the canonical parameters of Table II/III as
@@ -285,6 +297,12 @@ func (sc Scenario) Validate() error {
 	if sc.RoundSlots < 0 {
 		return fmt.Errorf("experiment: negative round slots %d", sc.RoundSlots)
 	}
+	if sc.AsyncK < 0 {
+		return fmt.Errorf("experiment: negative async exchange bound %d", sc.AsyncK)
+	}
+	if sc.AsyncMeanDelay < 0 || sc.AsyncTimeout < 0 {
+		return fmt.Errorf("experiment: negative async timing (delay %v, timeout %v)", sc.AsyncMeanDelay, sc.AsyncTimeout)
+	}
 	return nil
 }
 
@@ -352,14 +370,17 @@ func (sc Scenario) pedestrianFlags(rnd *rng.Stream) []bool {
 // coreConfig assembles the protocol configuration.
 func (sc Scenario) coreConfig() core.Config {
 	return core.Config{
-		Protocol:   sc.Protocol,
-		Params:     core.ProbParams{Alpha: sc.Alpha, Beta: sc.Beta, DistUnit: sc.DistUnit, TimeUnit: sc.TimeUnit},
-		RoundTime:  sc.RoundTime,
-		RoundSlots: sc.RoundSlots,
-		DIS:        sc.dis(),
-		CacheK:     sc.CacheK,
-		Eviction:   sc.Eviction,
-		Popularity: sc.Popularity,
+		Protocol:       sc.Protocol,
+		Params:         core.ProbParams{Alpha: sc.Alpha, Beta: sc.Beta, DistUnit: sc.DistUnit, TimeUnit: sc.TimeUnit},
+		RoundTime:      sc.RoundTime,
+		RoundSlots:     sc.RoundSlots,
+		DIS:            sc.dis(),
+		CacheK:         sc.CacheK,
+		Eviction:       sc.Eviction,
+		Popularity:     sc.Popularity,
+		AsyncK:         sc.AsyncK,
+		AsyncMeanDelay: sc.AsyncMeanDelay,
+		AsyncTimeout:   sc.AsyncTimeout,
 	}
 }
 

@@ -284,6 +284,32 @@ func (r *Registry) instruments() []*instrument {
 	return append([]*instrument(nil), r.order...)
 }
 
+// Reset zeroes every registered instrument in place: counters and gauges go
+// back to 0, histogram buckets, counts and sums clear. Registrations — and
+// every instrument pointer wiring code holds — stay valid, so a long-lived
+// embedder sharing one registry across consecutive runs can scrub values
+// without re-wiring. GaugeFunc instruments recompute on exposition and are
+// untouched; if their closure captures per-run state the embedder must also
+// swap that state (or, better, build a fresh registry per run as
+// experiment.Scenario.Build does). Not safe concurrently with hot-path
+// writes; call it between runs.
+func (r *Registry) Reset() {
+	for _, in := range r.instruments() {
+		switch in.kind {
+		case kindCounter:
+			in.counter.v.Store(0)
+		case kindGauge:
+			in.gauge.Set(0)
+		case kindHistogram:
+			for i := range in.hist.counts {
+				in.hist.counts[i].Store(0)
+			}
+			in.hist.count.Store(0)
+			in.hist.sum.Store(0)
+		}
+	}
+}
+
 // gaugeValue evaluates a gauge instrument of either flavor.
 func (in *instrument) gaugeValue() float64 {
 	if in.kind == kindGaugeFunc && in.gaugeFunc != nil {

@@ -243,3 +243,42 @@ func BenchmarkCounterInc(b *testing.B) {
 		c.Inc()
 	}
 }
+
+// TestRegistryReset pins the between-runs scrub: values clear, registrations
+// and instrument pointers survive, gauge funcs keep self-computing.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reset_c", "")
+	g := r.Gauge("reset_g", "")
+	h := r.Histogram("reset_h", "", LinearBuckets(1, 1, 3))
+	live := 7.0
+	r.GaugeFunc("reset_gf", "", func() float64 { return live })
+	c.Add(5)
+	g.Set(2.5)
+	h.Observe(2)
+	h.Observe(99)
+
+	r.Reset()
+
+	s := r.Snapshot()
+	if s.Counters["reset_c"] != 0 {
+		t.Errorf("counter after Reset = %d", s.Counters["reset_c"])
+	}
+	if s.Gauges["reset_g"] != 0 {
+		t.Errorf("gauge after Reset = %v", s.Gauges["reset_g"])
+	}
+	if hs := s.Histograms["reset_h"]; hs.Count != 0 || hs.Sum != 0 {
+		t.Errorf("histogram after Reset: count=%d sum=%v", hs.Count, hs.Sum)
+	}
+	if s.Gauges["reset_gf"] != 7 {
+		t.Errorf("gauge func after Reset = %v, want 7 (self-computing)", s.Gauges["reset_gf"])
+	}
+	if len(s.Names) != 4 {
+		t.Errorf("registrations after Reset = %v", s.Names)
+	}
+	// The pre-Reset pointers are still the live instruments.
+	c.Inc()
+	if r.Snapshot().Counters["reset_c"] != 1 {
+		t.Error("pre-Reset counter pointer detached from the registry")
+	}
+}

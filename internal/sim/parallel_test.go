@@ -321,3 +321,40 @@ func TestShardMapNilRestoresIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchRescheduleOfLaterMemberWins is the regression test for the
+// in-batch double-fire: when a commit reschedules a *different* split event
+// that belongs to the same in-flight batch, the event is back in the queue
+// for its new instant — but the commit loop used to dispatch the stale batch
+// copy as well, firing the event at both the old and the new time. The
+// reschedule must win: exactly one commit, at the new instant.
+func TestBatchRescheduleOfLaterMemberWins(t *testing.T) {
+	s := New()
+	var bEv *Event
+	var bTimes []float64
+	s.ScheduleSplit(1, 0, func(int) {}, func() { s.Reschedule(bEv, 2) })
+	bEv = s.ScheduleSplit(1, 1, func(int) {}, func() { bTimes = append(bTimes, s.Now()) })
+	s.Run(10)
+	if len(bTimes) != 1 || bTimes[0] != 2 {
+		t.Fatalf("rescheduled batch member committed at %v, want exactly once at t=2", bTimes)
+	}
+}
+
+// TestBatchRescheduleToSameInstant pins the degenerate flavor: rescheduling
+// a later batch member to the *current* instant moves it to a fresh batch at
+// the same time (new seq) rather than committing it twice. The event's
+// decide legitimately reruns in the new batch; its commit must not.
+func TestBatchRescheduleToSameInstant(t *testing.T) {
+	s := New()
+	var bEv *Event
+	commits, decides := 0, 0
+	s.ScheduleSplit(1, 0, func(int) {}, func() { s.Reschedule(bEv, 1) })
+	bEv = s.ScheduleSplit(1, 1, func(int) { decides++ }, func() { commits++ })
+	s.Run(10)
+	if commits != 1 {
+		t.Fatalf("same-instant rescheduled member committed %d times, want 1", commits)
+	}
+	if decides != 2 {
+		t.Fatalf("same-instant rescheduled member decided %d times, want 2 (once per batch)", decides)
+	}
+}

@@ -498,7 +498,12 @@ func (s *Simulator) runBatch() {
 	}
 	committed := 0
 	for _, e := range s.batch {
-		if e.canned {
+		if e.canned || e.index >= 0 {
+			// Cancelled mid-batch — or an earlier commit rescheduled this
+			// not-yet-committed member to a new instant, putting it back in
+			// the queue (index ≥ 0). The reschedule wins: committing the
+			// stale batch copy here too would fire the event at both the old
+			// and the new instant.
 			continue
 		}
 		s.dispatched++

@@ -5,7 +5,9 @@
 # then the shards × workers matrix at N=10^4 (plus the N=10^5 completion run)
 # to BENCH_shard.json, then the live-node wire-layer soak (batched vs
 # unbatched datagram/byte bill per delivered ad, digest hit rate, mean ads
-# per batch) to BENCH_node.json.
+# per batch) to BENCH_node.json, then the async pairwise spread comparison
+# (broadcast gossip vs Async k=1..3: delivery, messages, spread time) to
+# BENCH_async.json.
 #
 # Usage:
 #   scripts/bench.sh            # default: -benchtime 2s micro, 3x end-to-end
@@ -28,11 +30,13 @@ OUT="BENCH_hotpath.json"
 PAROUT="BENCH_parallel.json"
 SHARDOUT="BENCH_shard.json"
 NODEOUT="BENCH_node.json"
+ASYNCOUT="BENCH_async.json"
 TMP="$(mktemp)"
 PARTMP="$(mktemp)"
 SHARDTMP="$(mktemp)"
 NODETMP="$(mktemp)"
-trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP" "$NODETMP"' EXIT
+ASYNCTMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP" "$NODETMP" "$ASYNCTMP"' EXIT
 
 echo "==> micro: internal/radio + internal/sim (-benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkBroadcastDense$|BenchmarkBroadcastDenseCollisions$|BenchmarkNodesWithin' \
@@ -162,3 +166,36 @@ END {
 ' "$NODETMP" > "$NODEOUT"
 
 echo "==> wrote $NODEOUT" >&2
+
+echo "==> async pairwise family: BenchmarkAsyncSpread gossip vs k=1..3 (-benchtime 3x)" >&2
+go test -run '^$' -bench 'BenchmarkAsyncSpread' -benchtime 3x . | tee "$ASYNCTMP" >&2
+
+awk -v ncpu="$NCPU" '
+BEGIN { print "{" ; print "  \"ncpu\": " ncpu "," ; print "  \"runs\": [" ; n = 0 }
+/^BenchmarkAsyncSpread/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; rate = ""; msgs = ""; dtime = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")      ns    = $i
+        if ($(i+1) == "delivery_%") rate  = $i
+        if ($(i+1) == "messages")   msgs  = $i
+        if ($(i+1) == "delivery_s") dtime = $i
+    }
+    if (ns == "") next
+    if (name ~ /Gossiping$/ && msgs != "") gmsgs = msgs
+    if (n++) print ","
+    line = "    {\"name\": \"" name "\", \"ns_per_op\": " ns
+    if (rate != "")  line = line ", \"delivery_pct\": " rate
+    if (dtime != "") line = line ", \"delivery_s\": " dtime
+    if (msgs != "") {
+        line = line ", \"messages\": " msgs
+        if (gmsgs != "" && name !~ /Gossiping$/ && gmsgs + 0 > 0)
+            line = line sprintf(", \"msgs_vs_gossip\": %.3f", msgs / gmsgs)
+    }
+    printf "%s}", line
+}
+END { print "\n  ]" ; print "}" }
+' "$ASYNCTMP" > "$ASYNCOUT"
+
+echo "==> wrote $ASYNCOUT" >&2
