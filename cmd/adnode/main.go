@@ -41,10 +41,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
+	"instantad/internal/cli"
 	"instantad/internal/core"
 	"instantad/internal/geo"
 	"instantad/internal/node"
@@ -110,12 +110,8 @@ func main() {
 		BlockWindow:    *block,
 		RoundBytes:     *roundB,
 	}
-	if *peers != "" {
-		cfg.Peers = strings.Split(*peers, ",")
-	}
-	if *seeds != "" {
-		cfg.Seeds = strings.Split(*seeds, ",")
-	}
+	cfg.Peers = cli.Strings(*peers)
+	cfg.Seeds = cli.Strings(*seeds)
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
@@ -124,7 +120,7 @@ func main() {
 	var events *node.EventRecorder
 	if *eventsOut != "" {
 		f, err := os.Create(*eventsOut)
-		fatalIf(err)
+		cli.FatalIf("adnode", err)
 		defer f.Close()
 		events = node.NewEventRecorder(f)
 		cfg.Events = events
@@ -135,7 +131,7 @@ func main() {
 		}()
 	}
 	n, err := node.New(cfg)
-	fatalIf(err)
+	cli.FatalIf("adnode", err)
 	defer n.Close()
 	n.Start()
 	fmt.Printf("node %d listening on %s at (%.0f, %.0f), range %.0f m\n",
@@ -159,7 +155,7 @@ func main() {
 
 	if *issue != "" {
 		ad, err := n.Issue(core.AdSpec{R: *adR, D: *adD, Category: *adCat, Text: *issue})
-		fatalIf(err)
+		cli.FatalIf("adnode", err)
 		fmt.Printf("issued %v: %q (R=%.0f m, D=%.0f s)\n", ad.ID, ad.Text, ad.R, ad.D)
 	}
 
@@ -222,7 +218,7 @@ func runDemo() {
 	const spacing = 200.0 // meters between chain neighbors; range 250 m
 	fmt.Println("five-node chain on loopback, 200 m spacing, 250 m radio range")
 	cluster, err := node.NewCluster(node.ChainConfigs(5, spacing, 250, 100*time.Millisecond))
-	fatalIf(err)
+	cli.FatalIf("adnode", err)
 	defer cluster.Close()
 	cluster.Start()
 	nodes := cluster.Nodes
@@ -235,7 +231,7 @@ func runDemo() {
 		R: 1200, D: 30, Category: "grocery",
 		Text: "Fresh fruit 20% off until 6pm",
 	})
-	fatalIf(err)
+	cli.FatalIf("adnode", err)
 	fmt.Printf("\nnode 0 issued %v: %q\n", ad.ID, ad.Text)
 
 	deadline := time.Now().Add(10 * time.Second)
@@ -264,11 +260,4 @@ func runDemo() {
 		}
 	}
 	fmt.Println("every node along the chain received the ad — multi-hop gossip over real sockets.")
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 }

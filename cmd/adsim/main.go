@@ -20,6 +20,8 @@ import (
 	"runtime"
 
 	"instantad"
+	"instantad/internal/atomicfile"
+	"instantad/internal/cli"
 	"instantad/internal/config"
 )
 
@@ -52,9 +54,6 @@ func main() {
 		simTime    = flag.Float64("sim-time", 2000, "simulation length, seconds")
 		lossRate   = flag.Float64("loss", 0, "per-link frame loss probability")
 		collisions = flag.Bool("collisions", false, "enable receiver-side collision model")
-		seed       = flag.Uint64("seed", 1, "base random seed")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
-		shards     = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
 		reps       = flag.Int("reps", 1, "replications (consecutive seeds)")
 		verbose    = flag.Bool("v", false, "print the full per-ad report")
 		showMap    = flag.Bool("map", false, "print ASCII field snapshots during the ad's life")
@@ -63,11 +62,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics-registry snapshot as JSON to this file at exit")
 	)
+	eng := cli.EngineFlags()
 	flag.Parse()
-	if *shards < 0 {
-		fmt.Fprintf(os.Stderr, "adsim: -shards %d must be >= 0\n", *shards)
-		os.Exit(2)
-	}
+	eng.Check("adsim")
 
 	sc := instantad.DefaultScenario()
 	if *cfgFile != "" {
@@ -141,9 +138,9 @@ func main() {
 	override("sim-time", func() { sc.SimTime = *simTime })
 	override("loss", func() { sc.LossRate = *lossRate })
 	override("collisions", func() { sc.Collisions = *collisions })
-	override("seed", func() { sc.Seed = *seed })
-	override("workers", func() { sc.Workers = *workers })
-	override("shards", func() { sc.Shards = *shards })
+	override("seed", func() { sc.Seed = eng.Seed })
+	override("workers", func() { sc.Workers = eng.Workers })
+	override("shards", func() { sc.Shards = eng.Shards })
 	// Default-on parallelism: a config file may pin Workers, but when nothing
 	// chose a value the simulator uses every core — safe because results are
 	// bit-identical for any worker count.
@@ -268,7 +265,8 @@ func emitJSON(v any) {
 	}
 }
 
-// dumpSnapshot writes a run's metrics-registry snapshot as indented JSON.
+// dumpSnapshot writes a run's metrics-registry snapshot as indented JSON,
+// atomically (temp + rename), so a crash never leaves a torn file behind.
 // An empty path means the flag was not given.
 func dumpSnapshot(path string, snap *instantad.Snapshot) {
 	if path == "" {
@@ -278,20 +276,7 @@ func dumpSnapshot(path string, snap *instantad.Snapshot) {
 		fmt.Fprintln(os.Stderr, "adsim: no registry snapshot available for -metrics-out")
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err == nil {
-		err = f.Close()
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.FatalIf("adsim", atomicfile.WriteJSON(path, snap))
 }
 
 // runComparison runs every protocol (including the related-work comparator)

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"instantad"
+	"instantad/internal/cli"
 )
 
 func main() {
@@ -37,12 +38,11 @@ func main() {
 		return
 	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "need -out <file> to record or -summarize <file> to inspect")
-		os.Exit(2)
+		cli.Usage("adtrace", "need -out <file> to record or -summarize <file> to inspect")
 	}
 
 	proto, err := instantad.ParseProtocol(*protocol)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	sc := instantad.DefaultScenario()
 	sc.Protocol = proto
 	sc.NumPeers = *peers
@@ -52,44 +52,44 @@ func main() {
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
-		fatalIf(err)
+		cli.FatalIf("adtrace", err)
 		defer f.Close()
 		w = f
 	}
 
 	sim, err := sc.Build()
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	rec := sim.Trace(w)
 	h := sim.ScheduleAd(sc.IssueTime, instantad.Point{X: sc.FieldW / 2, Y: sc.FieldH / 2},
 		instantad.AdSpec{R: sc.R, D: sc.D, Category: sc.Category, Text: "traced ad"})
 	sim.Engine.Run(sc.SimTime)
-	fatalIf(h.Err)
-	fatalIf(rec.Flush())
+	cli.FatalIf("adtrace", h.Err)
+	cli.FatalIf("adtrace", rec.Flush())
 
 	rep, err := sim.Metrics.Report(h.Ad.ID)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	fmt.Fprintf(os.Stderr, "recorded %d events; %v\n", rec.Count(), rep)
 }
 
 func analyzeFile(path string) {
 	f, err := os.Open(path)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	defer f.Close()
 	events, err := instantad.ReadTrace(f)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	a, err := instantad.AnalyzeTrace(events)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	fmt.Print(a.Render())
 }
 
 func summarizeFile(path string) {
 	f, err := os.Open(path)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	defer f.Close()
 	events, err := instantad.ReadTrace(f)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	sum, err := instantad.SummarizeTrace(events)
-	fatalIf(err)
+	cli.FatalIf("adtrace", err)
 	fmt.Println(sum)
 	kinds := make([]string, 0, len(sum.ByKind))
 	for k := range sum.ByKind {
@@ -101,12 +101,5 @@ func summarizeFile(path string) {
 	}
 	for _, ad := range sum.Ads {
 		fmt.Printf("  %s: %d broadcasts\n", ad, sum.MsgsPerAd[ad])
-	}
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 }

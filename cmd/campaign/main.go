@@ -1,6 +1,8 @@
 // Command campaign runs a continuous advertising workload — many issuers,
 // Poisson arrivals, Zipf categories — and prints the capacity curve:
-// delivery quality versus offered load.
+// delivery quality versus offered load. It is the batch-mode client of the
+// campaign control plane: each rate becomes one campaign in a store, run on
+// the simulation backend (the live-fleet backend is cmd/campaignd).
 //
 // Usage:
 //
@@ -9,54 +11,41 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
-	"strconv"
-	"strings"
 
 	"instantad"
+	"instantad/internal/atomicfile"
+	"instantad/internal/cli"
 )
 
 func main() {
 	var (
-		peers   = flag.Int("peers", 300, "number of peers")
-		cacheK  = flag.Int("cache", 10, "per-peer cache capacity")
-		radius  = flag.Float64("R", 400, "ad radius, m")
-		life    = flag.Float64("D", 120, "ad duration, s")
-		window  = flag.Float64("window", 600, "injection window, s")
-		rates   = flag.String("rates", "1,2,4,8,12", "ads/minute sweep (comma-separated)")
-		skew    = flag.Float64("skew", 0.8, "category Zipf skew")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
-		shards  = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
-		percat  = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
-		metOut  = flag.String("metrics-out", "", "write the last rate's metrics-registry snapshot as JSON to this file at exit")
+		peers  = flag.Int("peers", 300, "number of peers")
+		cacheK = flag.Int("cache", 10, "per-peer cache capacity")
+		radius = flag.Float64("R", 400, "ad radius, m")
+		life   = flag.Float64("D", 120, "ad duration, s")
+		window = flag.Float64("window", 600, "injection window, s")
+		rates  = flag.String("rates", "1,2,4,8,12", "ads/minute sweep (comma-separated)")
+		skew   = flag.Float64("skew", 0.8, "category Zipf skew")
+		percat = flag.Bool("per-category", false, "print per-category breakdown at the last rate")
+		metOut = flag.String("metrics-out", "", "write the last rate's metrics-registry snapshot as JSON to this file at exit")
 	)
+	eng := cli.EngineFlags()
 	flag.Parse()
-	if *shards < 0 {
-		fmt.Fprintf(os.Stderr, "campaign: -shards %d must be >= 0\n", *shards)
-		os.Exit(2)
-	}
+	eng.Check("campaign")
 
-	var apm []float64
-	for _, part := range strings.Split(*rates, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "bad rate %q\n", part)
-			os.Exit(2)
-		}
-		apm = append(apm, v)
+	apm, err := cli.Floats(*rates, true)
+	if err != nil {
+		cli.Usage("campaign", "-rates: %v", err)
 	}
 
 	sc := instantad.DefaultScenario()
 	sc.NumPeers = *peers
 	sc.CacheK = *cacheK
-	sc.Seed = *seed
-	sc.Workers = *workers
-	sc.Shards = *shards
+	sc.Seed = eng.Seed
+	sc.Workers = eng.Workers
+	sc.Shards = eng.Shards
 	sc.SimTime = 60 + *window + *life + 60
 
 	base := instantad.CampaignConfig{
@@ -73,11 +62,13 @@ func main() {
 		*peers, *cacheK, *radius, *life, *window)
 	fmt.Printf("%10s %6s %14s %15s %10s %10s\n",
 		"ads/min", "ads", "mean delivery", "worst delivery", "messages", "evictions")
-	reports, err := instantad.CampaignSweep(sc, base, apm)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+
+	// Thin client of the control plane's store: the sweep populates one
+	// campaign per rate, so the same ledger that backs campaignd's HTTP API
+	// answers the batch questions here.
+	store := instantad.NewCampaignStore()
+	reports, err := store.RunBatch(sc, base, apm)
+	cli.FatalIf("campaign", err)
 	for i, rep := range reports {
 		fmt.Printf("%10.1f %6d %13.1f%% %14.1f%% %10d %10d\n",
 			apm[i], rep.AdsIssued, rep.MeanDelivery, rep.WorstDelivery, rep.TotalMessages, rep.Evictions)
@@ -93,25 +84,6 @@ func main() {
 	}
 
 	if *metOut != "" {
-		if err := writeSnapshot(*metOut, reports[len(reports)-1].Metrics); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.FatalIf("campaign", atomicfile.WriteJSON(*metOut, reports[len(reports)-1].Metrics))
 	}
-}
-
-// writeSnapshot dumps the registry snapshot of the sweep's last rate as
-// indented JSON.
-func writeSnapshot(path string, snap *instantad.Snapshot) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -22,10 +22,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 
 	"instantad"
+	"instantad/internal/cli"
 )
 
 func main() {
@@ -36,19 +36,14 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress lines")
 		chart      = flag.Bool("chart", false, "render ASCII charts alongside the tables")
 		csvDir     = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
-		seed       = flag.Uint64("seed", 1, "base random seed")
 		roadFile   = flag.String("road", "", "road graph file for the rsu figure (empty = synthetic grid)")
 		rsuCounts  = flag.String("rsu", "", "comma-separated RSU counts for the rsu figure (default 0,2,4,8)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel round-decision workers per simulation (bit-identical to 1)")
-		shards     = flag.Int("shards", 1, "spatial tile stripes for the radio grid (bit-identical to 1)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
+	eng := cli.EngineFlags()
 	flag.Parse()
-	if *shards < 0 {
-		fmt.Fprintf(os.Stderr, "figures: -shards %d must be >= 0\n", *shards)
-		os.Exit(2)
-	}
+	eng.Check("figures")
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -87,7 +82,7 @@ func main() {
 	}
 
 	base := instantad.DefaultScenario()
-	base.Seed = *seed
+	base.Seed = eng.Seed
 	opts := instantad.RunOpts{Reps: *reps, Base: base}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
@@ -109,8 +104,8 @@ func main() {
 	if opts.Base.NumPeers == 0 {
 		opts.Base = instantad.DefaultScenario()
 	}
-	opts.Base.Workers = *workers
-	opts.Base.Shards = *shards
+	opts.Base.Workers = eng.Workers
+	opts.Base.Shards = eng.Shards
 
 	show := func(f instantad.Figure, err error) {
 		if err != nil {
@@ -198,10 +193,9 @@ func main() {
 		show(f, err)
 	}
 	if want("rsu") {
-		counts, err := parseCounts(*rsuCounts)
+		counts, err := cli.Ints(*rsuCounts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures: -rsu:", err)
-			os.Exit(2)
+			cli.Usage("figures", "-rsu: %v", err)
 		}
 		// The road file only applies to the road sweep — Validate rejects it
 		// on the open-field figures — so mutate a local copy of the options.
@@ -227,21 +221,4 @@ func main() {
 		}
 		fmt.Println(rep.Render())
 	}
-}
-
-// parseCounts parses the -rsu list ("0,2,4,8"); empty means the figure's
-// default sweep.
-func parseCounts(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad RSU count %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }

@@ -11,9 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 
 	"instantad"
+	"instantad/internal/cli"
 )
 
 func main() {
@@ -26,8 +26,7 @@ func main() {
 	)
 	flag.Parse()
 	if *n < 1 || *f < 1 || *l < 1 || *l > 64 {
-		fmt.Fprintln(os.Stderr, "invalid parameters")
-		os.Exit(2)
+		cli.Usage("fmsketch", "invalid parameters: need n ≥ 1, f ≥ 1, 1 ≤ l ≤ 64")
 	}
 
 	sk := instantad.NewSketch(*f, *l, *seed)

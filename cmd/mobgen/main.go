@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"instantad/internal/cli"
 	"instantad/internal/geo"
 	"instantad/internal/mobility"
 	"instantad/internal/rng"
@@ -46,13 +47,13 @@ func main() {
 	}
 	if *emitRoad != "" {
 		g, err := roadnet.Grid(int(*fieldW / *block)+1, int(*fieldW / *block)+1, *block)
-		fatalIf(err)
+		cli.FatalIf("mobgen", err)
 		f, err := os.Create(*emitRoad)
-		fatalIf(err)
+		cli.FatalIf("mobgen", err)
 		if err := g.Write(f); err == nil {
 			err = f.Close()
 		}
-		fatalIf(err)
+		cli.FatalIf("mobgen", err)
 		fmt.Fprintf(os.Stderr, "wrote %s: %d intersections, %d road segments, %.0f m total\n",
 			*emitRoad, g.N(), g.M(), g.TotalLength())
 		return
@@ -66,7 +67,7 @@ func main() {
 		} else {
 			graph, err = roadnet.Grid(int(*fieldW / *block)+1, int(*fieldW / *block)+1, *block)
 		}
-		fatalIf(err)
+		cli.FatalIf("mobgen", err)
 	}
 
 	field := geo.NewRect(*fieldW, *fieldW)
@@ -102,27 +103,27 @@ func main() {
 		default:
 			err = fmt.Errorf("unknown model %q", *model)
 		}
-		fatalIf(err)
+		cli.FatalIf("mobgen", err)
 		models[i] = m
 	}
 
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
-		fatalIf(err)
+		cli.FatalIf("mobgen", err)
 		defer f.Close()
 		w = f
 	}
-	fatalIf(mobility.ExportNS2(w, models))
+	cli.FatalIf("mobgen", mobility.ExportNS2(w, models))
 	fmt.Fprintf(os.Stderr, "wrote %d %s trajectories over %.0f s\n", *n, *model, *horizon)
 }
 
 func inspect(path string) {
 	f, err := os.Open(path)
-	fatalIf(err)
+	cli.FatalIf("mobgen", err)
 	defer f.Close()
 	byID, err := mobility.ParseNS2(f)
-	fatalIf(err)
+	cli.FatalIf("mobgen", err)
 	ids := make([]int, 0, len(byID))
 	for id := range byID {
 		ids = append(ids, id)
@@ -139,11 +140,4 @@ func inspect(path string) {
 		}
 	}
 	fmt.Printf("%d trajectory legs, last arrival at %.1f s\n", legs, maxT)
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 }

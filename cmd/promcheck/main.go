@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"instantad/internal/cli"
 	"instantad/internal/obs"
 )
 
@@ -45,25 +46,21 @@ func main() {
 	default:
 		r, err = os.Open(*in)
 	}
-	if err != nil {
-		fatal(err)
-	}
+	cli.FatalIf("promcheck", err)
 	defer r.Close()
 
 	fams, err := obs.ParsePrometheus(r)
-	if err != nil {
-		fatal(fmt.Errorf("promcheck: %w", err))
-	}
+	cli.FatalIf("promcheck", err)
 
 	if *require != "" {
-		for _, req := range strings.Split(*require, ",") {
-			name, typ, _ := strings.Cut(strings.TrimSpace(req), ":")
+		for _, req := range cli.Strings(*require) {
+			name, typ, _ := strings.Cut(req, ":")
 			fam, ok := fams[name]
 			if !ok {
-				fatal(fmt.Errorf("promcheck: required family %q missing", name))
+				cli.Fatal("promcheck", fmt.Errorf("required family %q missing", name))
 			}
 			if typ != "" && fam.Type != typ {
-				fatal(fmt.Errorf("promcheck: family %q is %s, want %s", name, fam.Type, typ))
+				cli.Fatal("promcheck", fmt.Errorf("family %q is %s, want %s", name, fam.Type, typ))
 			}
 		}
 	}
@@ -88,9 +85,4 @@ func scrape(url string, budget time.Duration) (io.ReadCloser, error) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -348,3 +348,61 @@ func CampaignSweep(sc Scenario, base CampaignConfig, adsPerMinute []float64) ([]
 func FigCapacity(sc Scenario, base CampaignConfig, adsPerMinute []float64) (Figure, error) {
 	return campaign.FigCapacity(sc, base, adsPerMinute)
 }
+
+// Campaign control plane: the long-lived service layer behind cmd/campaignd.
+// A Store holds campaigns, a Fleet is a captive load farm of live gossip
+// nodes over the in-memory medium, a Scheduler turns campaign rates into
+// real ad injections under Admission backpressure, and a Server wraps the
+// three in the versioned HTTP API with checkpoint/restore durability.
+type (
+	// CampaignSpec is the JSON campaign description issuers POST.
+	CampaignSpec = campaign.Spec
+	// CampaignArea is a campaign's spatial footprint.
+	CampaignArea = campaign.Area
+	// CampaignStatus is the issuer-facing delivery view of one campaign.
+	CampaignStatus = campaign.Status
+	// CampaignState is a campaign's lifecycle phase.
+	CampaignState = campaign.State
+	// CampaignStore holds every accepted campaign, checkpointable as a unit.
+	CampaignStore = campaign.Store
+	// CampaignScheduler drives a store against a live fleet.
+	CampaignScheduler = campaign.Scheduler
+	// CampaignServer is the assembled control plane behind cmd/campaignd.
+	CampaignServer = campaign.Server
+	// CampaignServerConfig assembles a CampaignServer.
+	CampaignServerConfig = campaign.ServerConfig
+	// FleetConfig sizes a captive load farm of live nodes.
+	FleetConfig = campaign.FleetConfig
+	// Fleet is a live in-process deployment of gossip nodes.
+	Fleet = campaign.Fleet
+	// AdmissionConfig is the control plane's backpressure policy.
+	AdmissionConfig = campaign.Admission
+	// CampaignCheckpoint is the control plane's durable on-disk state.
+	CampaignCheckpoint = campaign.Checkpoint
+)
+
+// Campaign lifecycle states.
+const (
+	CampaignPending   = campaign.StatePending
+	CampaignActive    = campaign.StateActive
+	CampaignDone      = campaign.StateDone
+	CampaignCancelled = campaign.StateCancelled
+)
+
+// NewCampaignStore returns an empty campaign store.
+func NewCampaignStore() *CampaignStore { return campaign.NewStore() }
+
+// NewFleet builds and starts a captive load farm of live gossip nodes.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return campaign.NewFleet(cfg) }
+
+// NewCampaignServer assembles the control plane: restore from checkpoint,
+// replay live ads, start the scheduler. Serve its Handler; stop with
+// Shutdown.
+func NewCampaignServer(cfg CampaignServerConfig) (*CampaignServer, error) {
+	return campaign.NewServer(cfg)
+}
+
+// ReadCampaignCheckpoint loads and version-checks a checkpoint file.
+func ReadCampaignCheckpoint(path string) (CampaignCheckpoint, error) {
+	return campaign.ReadCheckpoint(path)
+}

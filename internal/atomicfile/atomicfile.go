@@ -1,0 +1,64 @@
+// Package atomicfile writes files that are never observed half-written: the
+// content lands in a temporary file in the destination directory, is fsynced,
+// and then renamed over the target in one atomic step (POSIX rename
+// semantics), with the directory fsynced afterwards so the rename itself
+// survives a crash. A reader — or a campaignd restart after kill -9 — sees
+// either the old file or the complete new one, never torn JSON.
+package atomicfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write streams the payload produced by fill into path atomically. fill
+// receives the temporary file's writer; any error from fill, fsync or rename
+// aborts the operation, removes the temporary file and leaves an existing
+// target untouched.
+func Write(path string, fill func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = fill(tmp); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: fsync %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// Persist the rename: fsync the directory entry. Some filesystems do not
+	// support fsync on directories; that is not fatal (the data itself is
+	// already durable).
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteJSON marshals v as indented JSON and writes it atomically — the shape
+// every -metrics-out dump and checkpoint writer in this repo shares.
+func WriteJSON(path string, v any) error {
+	return Write(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}

@@ -1,0 +1,78 @@
+package atomicfile
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	in := map[string]int{"a": 1, "b": 2}
+	if err := WriteJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out["a"] != 1 || out["b"] != 2 {
+		t.Fatalf("round trip mismatch: %v", out)
+	}
+}
+
+func TestWriteReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "new" {
+		t.Fatalf("content = %q, want %q", raw, "new")
+	}
+}
+
+func TestWriteAbortLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(path, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "keep" {
+		t.Fatalf("target clobbered: %q", raw)
+	}
+	// No temp droppings either.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteMissingDirErrors(t *testing.T) {
+	err := WriteJSON(filepath.Join(t.TempDir(), "no", "such", "dir", "f.json"), 1)
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+)
+
+// Admission is the backpressure policy: it decides, from live fleet
+// signals, whether the control plane should accept more work or push back
+// with 429 + Retry-After. The paper's premise is that the airwaves and
+// caches are a shared, finite medium — when issuers outrun gossip capacity
+// the right failure mode is explicit refusal upstream, not silent decay of
+// every campaign's delivery.
+//
+// Three independent gates, any of which rejects:
+//
+//   - capacity: live ads in the field ≥ MaxLiveAds (caches are full — more
+//     ads only evict each other);
+//   - latency: probe-delivery p99 beyond MaxP99Frac of the shortest active
+//     ad lifetime (ads are arriving at peers with too little life left);
+//   - congestion: per-node byte budgets are deferring sends faster than
+//     MaxDeferredPerSec (the wire layer is saturated).
+type Admission struct {
+	// MaxLiveAds caps concurrently live ads across all campaigns; ≤ 0
+	// disables the gate.
+	MaxLiveAds int
+	// MaxP99Frac bounds delivery p99 as a fraction of the shortest active
+	// ad lifetime (0 means the 0.5 default).
+	MaxP99Frac float64
+	// MaxDeferredPerSec bounds the fleet-wide budget_deferred growth rate;
+	// ≤ 0 disables the gate.
+	MaxDeferredPerSec float64
+}
+
+// DefaultMaxP99Frac is the latency gate's default: delivery p99 may spend
+// at most half an ad lifetime in flight.
+const DefaultMaxP99Frac = 0.5
+
+// Signals is the input to one admission decision, sampled from the store,
+// the delivery histogram and the fleet totals.
+type Signals struct {
+	LiveAds        int     `json:"live_ads"`        // ads inside their lifetime, all campaigns
+	ShortestLife   float64 `json:"shortest_life_s"` // smallest active ad lifetime (0 = none)
+	DeliveryP99    float64 `json:"delivery_p99_s"`  // probe delivery p99
+	DeferredPerSec float64 `json:"deferred_per_s"`  // fleet budget_deferred growth rate
+	BackoffsPerSec float64 `json:"backoffs_per_s"`  // fleet peer_backoff growth rate (reported, not gated)
+}
+
+// Decision is an admission verdict. RetryAfter is only meaningful when
+// Admit is false.
+type Decision struct {
+	Admit      bool
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Decide applies the gates in severity order.
+func (a Admission) Decide(sig Signals) Decision {
+	if a.MaxLiveAds > 0 && sig.LiveAds >= a.MaxLiveAds {
+		return Decision{
+			Reason: fmt.Sprintf("live ads %d at capacity %d", sig.LiveAds, a.MaxLiveAds),
+			// Capacity frees as ads expire; a fraction of the shortest
+			// lifetime is the natural horizon.
+			RetryAfter: clampRetry(sig.ShortestLife / 4),
+		}
+	}
+	frac := a.MaxP99Frac
+	if frac <= 0 {
+		frac = DefaultMaxP99Frac
+	}
+	if sig.ShortestLife > 0 && sig.DeliveryP99 > frac*sig.ShortestLife {
+		return Decision{
+			Reason: fmt.Sprintf("delivery p99 %.1fs beyond %.0f%% of the %.0fs ad lifetime",
+				sig.DeliveryP99, 100*frac, sig.ShortestLife),
+			RetryAfter: clampRetry(sig.DeliveryP99),
+		}
+	}
+	if a.MaxDeferredPerSec > 0 && sig.DeferredPerSec > a.MaxDeferredPerSec {
+		return Decision{
+			Reason: fmt.Sprintf("wire layer deferring %.0f sends/s (limit %.0f)",
+				sig.DeferredPerSec, a.MaxDeferredPerSec),
+			RetryAfter: clampRetry(2),
+		}
+	}
+	return Decision{Admit: true}
+}
+
+// clampRetry bounds a Retry-After hint to [1s, 30s].
+func clampRetry(sec float64) time.Duration {
+	d := time.Duration(sec * float64(time.Second))
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 30*time.Second {
+		return 30 * time.Second
+	}
+	return d
+}

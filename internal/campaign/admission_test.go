@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdmissionGates(t *testing.T) {
+	a := Admission{MaxLiveAds: 10, MaxP99Frac: 0.5, MaxDeferredPerSec: 100}
+
+	if d := a.Decide(Signals{LiveAds: 3, ShortestLife: 60, DeliveryP99: 5}); !d.Admit {
+		t.Fatalf("healthy signals rejected: %s", d.Reason)
+	}
+
+	// Capacity gate.
+	d := a.Decide(Signals{LiveAds: 10, ShortestLife: 60})
+	if d.Admit || !strings.Contains(d.Reason, "capacity") {
+		t.Fatalf("capacity gate: %+v", d)
+	}
+	if d.RetryAfter < time.Second || d.RetryAfter > 30*time.Second {
+		t.Fatalf("Retry-After %v outside [1s, 30s]", d.RetryAfter)
+	}
+
+	// Latency gate: p99 beyond half the shortest lifetime.
+	d = a.Decide(Signals{LiveAds: 1, ShortestLife: 60, DeliveryP99: 31})
+	if d.Admit || !strings.Contains(d.Reason, "p99") {
+		t.Fatalf("latency gate: %+v", d)
+	}
+
+	// Congestion gate.
+	d = a.Decide(Signals{LiveAds: 1, ShortestLife: 60, DeliveryP99: 1, DeferredPerSec: 150})
+	if d.Admit || !strings.Contains(d.Reason, "deferring") {
+		t.Fatalf("congestion gate: %+v", d)
+	}
+}
+
+func TestAdmissionDisabledGates(t *testing.T) {
+	// The zero policy only applies the latency gate (with the 0.5 default),
+	// and with no active ads even that cannot trip.
+	var a Admission
+	if d := a.Decide(Signals{LiveAds: 1 << 20, DeferredPerSec: 1e9}); !d.Admit {
+		t.Fatalf("zero policy rejected: %s", d.Reason)
+	}
+	if d := a.Decide(Signals{ShortestLife: 10, DeliveryP99: 6}); d.Admit {
+		t.Fatal("default latency gate should trip at p99 > life/2")
+	}
+}
+
+func TestRetryAfterClamp(t *testing.T) {
+	if got := clampRetry(0.01); got != time.Second {
+		t.Fatalf("clamp low: %v", got)
+	}
+	if got := clampRetry(1e6); got != 30*time.Second {
+		t.Fatalf("clamp high: %v", got)
+	}
+	if got := clampRetry(4); got != 4*time.Second {
+		t.Fatalf("mid: %v", got)
+	}
+}

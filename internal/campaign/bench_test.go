@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"instantad/internal/geo"
+)
+
+// adLifeS is the benchmark ad lifetime: the acceptance bar is that
+// backpressure engages (rejected_rate rises) before delivery p99 crosses it.
+const adLifeS = 10
+
+// benchFleetIngest boots a live fleet, offers one campaign at `offered`
+// ads/s into it through the admission-gated scheduler for a fixed soak, and
+// reports ingest throughput, rejection rate and delivery p99 as custom
+// metrics. Steady-state live ads = offered × lifetime, so with
+// MaxLiveAds=48 and a 10 s lifetime the 2/s point admits everything
+// (~20 live) and the 16/s point slams into the capacity gate (~160 live
+// demanded) — the sweep captures backpressure engaging while p99 stays
+// far below the ad lifetime.
+func benchFleetIngest(b *testing.B, nodes int, offered float64) {
+	soak := 6 * time.Second
+	side := int(math.Ceil(math.Sqrt(float64(nodes))))
+	center := geo.Point{X: float64(side) * 150 / 2, Y: float64(side) * 150 / 2}
+
+	for i := 0; i < b.N; i++ {
+		fl, err := NewFleet(FleetConfig{
+			Nodes: nodes, Spacing: 150, Range: 230,
+			RoundTime: 200 * time.Millisecond, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := NewServer(ServerConfig{
+			Fleet:     fl,
+			Admission: Admission{MaxLiveAds: 48},
+			Tick:      50 * time.Millisecond,
+		})
+		if err != nil {
+			fl.Close()
+			b.Fatal(err)
+		}
+
+		spec := Spec{
+			Name:       "bench",
+			Area:       Area{X: center.X, Y: center.Y, Radius: 500},
+			Duration:   adLifeS,
+			Category:   "bench",
+			RatePerMin: offered * 60,
+			Window:     600,
+		}
+		if _, err := srv.Store().Create(spec, time.Now()); err != nil {
+			srv.Shutdown()
+			b.Fatal(err)
+		}
+
+		time.Sleep(soak)
+		now := time.Now()
+		st, err := srv.Store().Status("c-1", now)
+		if err != nil {
+			srv.Shutdown()
+			b.Fatal(err)
+		}
+		sig := srv.Scheduler().Signals(now)
+		srv.Shutdown()
+
+		b.ReportMetric(float64(st.AdsIssued)/soak.Seconds(), "ads/s")
+		if tot := st.AdsIssued + st.Throttled; tot > 0 {
+			b.ReportMetric(float64(st.Throttled)/float64(tot), "rejected_rate")
+		} else {
+			b.ReportMetric(0, "rejected_rate")
+		}
+		b.ReportMetric(sig.DeliveryP99, "p99_s")
+		b.ReportMetric(float64(sig.LiveAds), "live_ads")
+	}
+}
+
+func BenchmarkFleetIngest(b *testing.B) {
+	for _, nodes := range []int{1000, 10000} {
+		for _, offered := range []float64{2, 16} {
+			b.Run(fmt.Sprintf("N=%d/offered=%g", nodes, offered), func(b *testing.B) {
+				benchFleetIngest(b, nodes, offered)
+			})
+		}
+	}
+}

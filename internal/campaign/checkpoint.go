@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"instantad/internal/atomicfile"
+)
+
+// CheckpointVersion is the on-disk format version. Readers reject versions
+// they do not know; writers always emit the current one.
+const CheckpointVersion = 1
+
+// Checkpoint is the control plane's durable state: every campaign with its
+// issued-ad ledger and rate-accumulator remainder. What is deliberately NOT
+// persisted: probe bookkeeping (rebuilt on replay) and latency samples
+// (measurements of a fleet that no longer exists).
+type Checkpoint struct {
+	Version int       `json:"version"`
+	SavedAt time.Time `json:"saved_at"`
+	NextID  int       `json:"next_id"`
+	// Campaigns is in creation order. Each entry carries its accumulator so
+	// a restart mid-window resumes the rate where it stopped.
+	Campaigns []CheckpointCampaign `json:"campaigns"`
+}
+
+// CheckpointCampaign is one campaign's persisted form.
+type CheckpointCampaign struct {
+	Campaign
+	Acc float64 `json:"acc"` // fractional ads owed by the rate accumulator
+}
+
+// checkpoint captures the store under its lock.
+func (s *Store) checkpoint(now time.Time) Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := Checkpoint{
+		Version:   CheckpointVersion,
+		SavedAt:   now,
+		NextID:    s.nextID,
+		Campaigns: make([]CheckpointCampaign, 0, len(s.order)),
+	}
+	for _, id := range s.order {
+		c := s.byID[id]
+		cp.Campaigns = append(cp.Campaigns, CheckpointCampaign{
+			Campaign: snapshotCampaign(c),
+			Acc:      c.acc,
+		})
+	}
+	return cp
+}
+
+// WriteCheckpoint persists the store to path atomically (temp file, fsync,
+// rename): a crash mid-write leaves the previous checkpoint intact, never a
+// torn file.
+func (s *Store) WriteCheckpoint(path string, now time.Time) error {
+	return atomicfile.WriteJSON(path, s.checkpoint(now))
+}
+
+// ReadCheckpoint loads and version-checks a checkpoint file.
+func ReadCheckpoint(path string) (Checkpoint, error) {
+	var cp Checkpoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cp, err
+	}
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return cp, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return cp, fmt.Errorf("campaign: checkpoint %s has version %d, this build reads %d",
+			path, cp.Version, CheckpointVersion)
+	}
+	return cp, nil
+}
+
+// RestoreStore rebuilds a store from a checkpoint. Ads come back as ledger
+// entries only — Scheduler.Replay re-injects the live ones into the fleet.
+func RestoreStore(cp Checkpoint) *Store {
+	s := NewStore()
+	s.nextID = cp.NextID
+	for i := range cp.Campaigns {
+		cc := cp.Campaigns[i]
+		c := cc.Campaign // snapshotCampaign already deep-copied nothing shared
+		c.acc = cc.Acc
+		cpy := c
+		s.byID[cpy.ID] = &cpy
+		s.byName[cpy.Spec.Name] = cpy.ID
+		s.order = append(s.order, cpy.ID)
+	}
+	return s
+}
+
+// Replay re-injects every ad still inside its lifetime into the fleet with
+// its REMAINING duration: the restarted fleet is empty (gossip state lives
+// in node memory), so the control plane reissues what the old fleet was
+// still carrying. Each replayed ad gets a fresh wire identity, a fresh probe
+// set, and Restored=true in its ledger entry; expired ads stay ledger-only.
+// Returns the number of ads replayed.
+func (s *Scheduler) Replay(now time.Time) int {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	replayed := 0
+	for _, id := range s.st.order {
+		c := s.st.byID[id]
+		old := c.Ads
+		c.Ads = make([]*AdRecord, 0, len(old))
+		issued := c.Issued
+		for _, r := range old {
+			if !r.Live(now) {
+				rr := *r
+				rr.expired = true
+				c.Ads = append(c.Ads, &rr)
+				continue
+			}
+			remaining := r.ExpiresAt.Sub(now).Seconds()
+			if err := s.issueAdLocked(c, now, remaining, true); err != nil {
+				s.logf("campaign %s: replay ad #%d: %v", c.ID, r.Seq, err)
+				// Keep the old record so the ledger still shows the ad.
+				c.Ads = append(c.Ads, r)
+				continue
+			}
+			// issueAdLocked appended a fresh record and bumped Issued; keep
+			// the original sequence number so the ledger stays continuous.
+			nr := c.Ads[len(c.Ads)-1]
+			nr.Seq = r.Seq
+			replayed++
+		}
+		c.Issued = issued // replay is re-injection, not new spend
+		c.lastStep = now  // do not back-bill the downtime into the accumulator
+	}
+	return replayed
+}

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func validSpec(name string) Spec {
+	return Spec{
+		Name:       name,
+		Area:       Area{X: 500, Y: 500, Radius: 300},
+		Duration:   60,
+		Category:   "food",
+		RatePerMin: 6,
+		Window:     120,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec("ok").Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{}, // empty name and everything else
+		func() Spec { s := validSpec("r"); s.Area.Radius = 0; return s }(),
+		func() Spec { s := validSpec("d"); s.Duration = -1; return s }(),
+		func() Spec { s := validSpec("rate"); s.RatePerMin = 0; return s }(),
+		func() Spec { s := validSpec("b"); s.Budget = -1; return s }(),
+		func() Spec { s := validSpec("unbounded"); s.Window = 0; s.Budget = 0; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+
+	c, err := s.Create(validSpec("one"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "c-1" || c.State != StatePending {
+		t.Fatalf("created %+v", c)
+	}
+	if _, err := s.Create(validSpec("one"), now); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate name: %v", err)
+	}
+	if _, err := s.Get("c-404"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown get: %v", err)
+	}
+
+	c2, _ := s.Create(validSpec("two"), now)
+	list := s.List()
+	if len(list) != 2 || list[0].ID != c.ID || list[1].ID != c2.ID {
+		t.Fatalf("list order: %+v", list)
+	}
+
+	if err := s.Cancel(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(c.ID); got.State != StateCancelled {
+		t.Fatalf("after cancel: %s", got.State)
+	}
+	if err := s.Cancel(c.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double cancel: %v", err)
+	}
+	if err := s.Cancel("c-404"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+}
+
+func TestStoreLiveAdsAndStatus(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+	c, _ := s.Create(validSpec("live"), now)
+
+	cc := s.byID[c.ID]
+	cc.State = StateActive
+	cc.Ads = []*AdRecord{
+		{Seq: 1, IssuedAt: now, ExpiresAt: now.Add(time.Minute), Probes: 4, Reached: 2},
+		{Seq: 2, IssuedAt: now.Add(-2 * time.Minute), ExpiresAt: now.Add(-time.Minute), Probes: 4, Reached: 4},
+	}
+	cc.Issued = 2
+	cc.lat = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+
+	if got := s.LiveAds(now); got != 1 {
+		t.Fatalf("live ads = %d, want 1", got)
+	}
+	if got := s.ShortestActiveLife(); got != 60 {
+		t.Fatalf("shortest life = %v, want 60", got)
+	}
+
+	st, err := s.Status(c.ID, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AdsLive != 1 || st.AdsIssued != 2 || st.Delivered != 6 || st.ProbeSlots != 8 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Coverage != 0.75 {
+		t.Fatalf("coverage = %v, want 0.75", st.Coverage)
+	}
+	if st.DeliveryP50 != 0.3 || st.DeliveryP99 != 0.6 {
+		t.Fatalf("percentiles p50=%v p99=%v", st.DeliveryP50, st.DeliveryP99)
+	}
+}

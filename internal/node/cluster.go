@@ -180,26 +180,7 @@ func (c *Cluster) TotalSent() uint64 {
 func (c *Cluster) TotalStats() Stats {
 	var t Stats
 	for _, n := range c.Nodes {
-		s := n.Stats()
-		t.Sent += s.Sent
-		t.Broadcasts += s.Broadcasts
-		t.Received += s.Received
-		t.OutOfRange += s.OutOfRange
-		t.Malformed += s.Malformed
-		t.Duplicates += s.Duplicates
-		t.Expired += s.Expired
-		t.ReadErrors += s.ReadErrors
-		t.SendErrors += s.SendErrors
-		t.SeenPruned += s.SeenPruned
-		t.PeerBackoffs += s.PeerBackoffs
-		t.BeaconsSent += s.BeaconsSent
-		t.BeaconsRecv += s.BeaconsRecv
-		t.BeaconRelays += s.BeaconRelays
-		t.NeighborsExpired += s.NeighborsExpired
-		t.EpochSkew += s.EpochSkew
-		t.SeenLive += s.SeenLive
-		t.PeersLive += s.PeersLive
-		t.NeighborsLive += s.NeighborsLive
+		t.Add(n.Stats())
 	}
 	return t
 }

@@ -187,6 +187,23 @@ func (s *Switchboard) Position(addr string) (geo.Point, bool) {
 	return p, ok
 }
 
+// SetPosition pre-seeds an endpoint's position, so a fleet wired statically
+// (no HELLO beacons to snoop) still gets the medium's Range partition from
+// the first datagram. Later beacons or self-describing ad frames from the
+// endpoint overwrite it, exactly as for snooped positions.
+func (s *Switchboard) SetPosition(addr string, p geo.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pos[addr] = p
+}
+
+// Endpoints returns the number of currently bound endpoints.
+func (s *Switchboard) Endpoints() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.eps)
+}
+
 // packet is one in-flight datagram.
 type packet struct {
 	data []byte

@@ -378,6 +378,41 @@ type Stats struct {
 	NeighborsLive    uint64 `json:"neighbors_live"`    // gauge: current neighbor-table size
 }
 
+// Add accumulates s into t field by field (gauges included), so multi-node
+// owners — clusters, fleets — aggregate one way.
+func (t *Stats) Add(s Stats) {
+	t.Sent += s.Sent
+	t.Broadcasts += s.Broadcasts
+	t.Received += s.Received
+	t.OutOfRange += s.OutOfRange
+	t.Malformed += s.Malformed
+	t.Duplicates += s.Duplicates
+	t.Expired += s.Expired
+	t.ReadErrors += s.ReadErrors
+	t.SendErrors += s.SendErrors
+	t.SeenPruned += s.SeenPruned
+	t.PeerBackoffs += s.PeerBackoffs
+	t.BeaconsSent += s.BeaconsSent
+	t.BeaconsRecv += s.BeaconsRecv
+	t.BeaconRelays += s.BeaconRelays
+	t.NeighborsExpired += s.NeighborsExpired
+	t.EpochSkew += s.EpochSkew
+	t.BatchesSent += s.BatchesSent
+	t.BatchesRecv += s.BatchesRecv
+	t.BatchOversize += s.BatchOversize
+	t.DigestsSent += s.DigestsSent
+	t.DigestsRecv += s.DigestsRecv
+	t.DigestHits += s.DigestHits
+	t.PullsSent += s.PullsSent
+	t.PullsRecv += s.PullsRecv
+	t.PulledAds += s.PulledAds
+	t.BlockedServes += s.BlockedServes
+	t.BudgetDeferred += s.BudgetDeferred
+	t.SeenLive += s.SeenLive
+	t.PeersLive += s.PeersLive
+	t.NeighborsLive += s.NeighborsLive
+}
+
 const (
 	defaultPeerFailLimit   = 3
 	defaultPeerBackoffBase = 500 * time.Millisecond

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -102,6 +103,52 @@ func (h *Histogram) Observe(v float64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts by
+// linear interpolation inside the bucket that holds the target rank — the
+// same estimate Prometheus's histogram_quantile produces. The first bucket
+// interpolates from zero; a rank landing in the +Inf bucket reports the
+// largest finite bound (the histogram cannot resolve beyond it). With no
+// observations Quantile returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: unresolvable above the last finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
@@ -344,6 +391,46 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramQuantile estimates the q-quantile of a named histogram in the
+// snapshot, with the same interpolation as Histogram.Quantile. The second
+// result is false when the snapshot has no histogram of that name or it has
+// no observations.
+func (s Snapshot) HistogramQuantile(name string, q float64) (float64, bool) {
+	hs, ok := s.Histograms[name]
+	if !ok || hs.Count == 0 || q <= 0 {
+		return 0, false
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	lo, lastFinite := 0.0, 0.0
+	var prevCum uint64
+	for _, b := range hs.Buckets {
+		hi, isInf := math.Inf(1), true
+		if b.Le != "+Inf" {
+			v, err := strconv.ParseFloat(b.Le, 64)
+			if err != nil {
+				return 0, false
+			}
+			hi, isInf = v, false
+			lastFinite = v
+		}
+		if float64(b.Count) >= rank && b.Count > prevCum {
+			if isInf {
+				return lastFinite, true
+			}
+			frac := (rank - float64(prevCum)) / float64(b.Count-prevCum)
+			return lo + (hi-lo)*frac, true
+		}
+		if !isInf {
+			lo = hi
+		}
+		prevCum = b.Count
+	}
+	return lastFinite, true
 }
 
 // Snapshot captures every instrument's current value.

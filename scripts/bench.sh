@@ -7,7 +7,10 @@
 # unbatched datagram/byte bill per delivered ad, digest hit rate, mean ads
 # per batch) to BENCH_node.json, then the async pairwise spread comparison
 # (broadcast gossip vs Async k=1..3: delivery, messages, spread time) to
-# BENCH_async.json.
+# BENCH_async.json, then the control-plane ingest soak (live fleet at
+# N=10^3/10^4 under offered loads of 2 and 16 ads/s through the admission
+# gate: ingest throughput, rejection rate, delivery p99 vs the 10 s ad
+# lifetime) to BENCH_campaign.json.
 #
 # Usage:
 #   scripts/bench.sh            # default: -benchtime 2s micro, 3x end-to-end
@@ -31,12 +34,14 @@ PAROUT="BENCH_parallel.json"
 SHARDOUT="BENCH_shard.json"
 NODEOUT="BENCH_node.json"
 ASYNCOUT="BENCH_async.json"
+CAMPOUT="BENCH_campaign.json"
 TMP="$(mktemp)"
 PARTMP="$(mktemp)"
 SHARDTMP="$(mktemp)"
 NODETMP="$(mktemp)"
 ASYNCTMP="$(mktemp)"
-trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP" "$NODETMP" "$ASYNCTMP"' EXIT
+CAMPTMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PARTMP" "$SHARDTMP" "$NODETMP" "$ASYNCTMP" "$CAMPTMP"' EXIT
 
 echo "==> micro: internal/radio + internal/sim (-benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench 'BenchmarkBroadcastDense$|BenchmarkBroadcastDenseCollisions$|BenchmarkNodesWithin' \
@@ -199,3 +204,34 @@ END { print "\n  ]" ; print "}" }
 ' "$ASYNCTMP" > "$ASYNCOUT"
 
 echo "==> wrote $ASYNCOUT" >&2
+
+echo "==> control plane: BenchmarkFleetIngest fleet-size x offered-load (-benchtime 1x)" >&2
+go test -run '^$' -bench 'BenchmarkFleetIngest' -benchtime 1x ./internal/campaign/ | tee "$CAMPTMP" >&2
+
+awk -v ncpu="$NCPU" '
+BEGIN { print "{" ; print "  \"ncpu\": " ncpu "," ; print "  \"ad_life_s\": 10," ; print "  \"runs\": [" ; n = 0 }
+/^BenchmarkFleetIngest/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; rate = ""; rej = ""; p99 = ""; live = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")         ns   = $i
+        if ($(i+1) == "ads/s")         rate = $i
+        if ($(i+1) == "rejected_rate") rej  = $i
+        if ($(i+1) == "p99_s")         p99  = $i
+        if ($(i+1) == "live_ads")      live = $i
+    }
+    if (ns == "") next
+    if (n++) print ","
+    line = "    {\"name\": \"" name "\", \"ns_per_op\": " ns
+    if (rate != "") line = line ", \"ads_ingested_per_s\": " rate
+    if (rej != "")  line = line ", \"rejected_rate\": " rej
+    if (p99 != "")  line = line ", \"delivery_p99_s\": " p99
+    if (live != "") line = line ", \"live_ads\": " live
+    if (p99 != "")  line = line sprintf(", \"p99_over_life\": %.4f", p99 / 10)
+    printf "%s}", line
+}
+END { print "\n  ]" ; print "}" }
+' "$CAMPTMP" > "$CAMPOUT"
+
+echo "==> wrote $CAMPOUT" >&2
